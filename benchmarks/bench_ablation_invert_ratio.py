@@ -1,0 +1,62 @@
+"""Ablation: invert-ratio sweep for line-granularity cache inversion.
+
+The paper fixes K=50% for perfect balancing and mentions the fixed /
+dynamic trade-off; this sweep quantifies the bias-vs-performance knob:
+higher ratios balance bit cells harder but cost more capacity.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core.cache_like import LineFixedScheme, run_cache_study
+from repro.uarch.cache import CacheConfig
+from repro.workloads import generate_address_stream, suite_names
+
+CONFIG = CacheConfig(name="DL0-16K-8w", size_bytes=16 * 1024, ways=8)
+RATIOS = (0.25, 0.4, 0.5, 0.6, 0.75)
+
+
+@pytest.fixture(scope="module")
+def streams():
+    return [
+        generate_address_stream(suite, length=10_000, seed=55)
+        for suite in suite_names()
+    ]
+
+
+def sweep(streams):
+    rows = []
+    losses = []
+    for ratio in RATIOS:
+        study = run_cache_study(
+            CONFIG, lambda r=ratio: LineFixedScheme(r), streams
+        )
+        # Expected steady-state bias with a fraction `ratio` of the
+        # cells holding inverted (complementary) contents.
+        expected_bias = 0.9 * (1 - study.mean_inverted_ratio) \
+            + 0.1 * study.mean_inverted_ratio
+        rows.append([
+            f"{ratio:.0%}",
+            f"{study.mean_loss:.2%}",
+            f"{study.mean_inverted_ratio:.1%}",
+            f"{expected_bias:.1%}",
+        ])
+        losses.append(study.mean_loss)
+    return rows, losses
+
+
+def test_ablation_invert_ratio(benchmark, streams):
+    rows, losses = benchmark.pedantic(
+        sweep, args=(streams,), rounds=1, iterations=1
+    )
+    # More inversion can only cost more performance.
+    assert losses == sorted(losses)
+    text = format_table(
+        ["invert ratio", "perf loss", "achieved ratio",
+         "worst-cell bias (90%-biased data)"],
+        rows,
+        title="Ablation — invert-ratio sweep (LineFixed, DL0-16K-8w)",
+    )
+    from conftest import write_result
+
+    write_result("ablation_invert_ratio.txt", text)

@@ -1,0 +1,80 @@
+"""Ablation: inversion-victim selection policy.
+
+The paper selects inversion victims from the LRU positions of random
+sets, arguing most hits concentrate at the MRU.  This ablation compares
+that against a naive any-position random-victim variant and reports the
+measured hit-position distribution backing the argument (the paper: 90%
+of DL0 hits in the MRU way, 7% in MRU+1).
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core.cache_like import LineFixedScheme, run_cache_study
+from repro.uarch.cache import Cache, CacheConfig, LineState
+from repro.workloads import generate_address_stream, suite_names
+
+CONFIG = CacheConfig(name="DL0-16K-8w", size_bytes=16 * 1024, ways=8)
+
+
+class AnyPositionLineFixed(LineFixedScheme):
+    """Naive variant: inverts a random *valid* way, any stack position."""
+
+    def __init__(self, ratio=0.5):
+        super().__init__(ratio)
+        self.name = f"AnyPosition{int(round(ratio * 100))}%"
+
+    def maintain(self):
+        if self.cache.inverted_count() < self.threshold:
+            set_index = self.rng.randrange(self.cache.config.sets)
+            valid = self.cache.valid_ways(set_index)
+            if valid:
+                self.cache.invert_line(set_index, self.rng.choice(valid))
+
+
+@pytest.fixture(scope="module")
+def streams():
+    return [
+        generate_address_stream(suite, length=10_000, seed=99)
+        for suite in suite_names()
+    ]
+
+
+def compare(streams):
+    lru = run_cache_study(CONFIG, lambda: LineFixedScheme(0.5), streams)
+    naive = run_cache_study(CONFIG, lambda: AnyPositionLineFixed(0.5),
+                            streams)
+    # Hit-position histogram of a baseline run (the paper's MRU stat).
+    cache = Cache(CONFIG)
+    for stream in streams:
+        for address in stream:
+            cache.access(address)
+    mru = cache.stats.mru_hit_fraction(0)
+    mru1 = cache.stats.mru_hit_fraction(1)
+    return lru, naive, mru, mru1
+
+
+def test_ablation_victim_policy(benchmark, streams):
+    lru, naive, mru, mru1 = benchmark.pedantic(
+        compare, args=(streams,), rounds=1, iterations=1
+    )
+    # LRU-position selection must not be worse than naive selection.
+    assert lru.mean_loss <= naive.mean_loss + 1e-6
+    # Hits concentrate near the MRU (paper: 90% / 7%).
+    assert mru > 0.6
+    rows = [
+        ["LRU-position victims (paper)", f"{lru.mean_loss:.2%}"],
+        ["any-position victims (naive)", f"{naive.mean_loss:.2%}"],
+        ["hits at MRU position", f"{mru:.1%} (paper 90%)"],
+        ["hits at MRU+1 position", f"{mru1:.1%} (paper 7%)"],
+    ]
+    text = format_table(
+        ["policy / statistic", "value"],
+        rows,
+        title="Ablation — inversion victim selection (DL0-16K-8w)",
+    )
+    from conftest import write_result
+
+    write_result("ablation_victim_policy.txt", text)

@@ -1,0 +1,39 @@
+"""Figure 4: narrow transistors with 100% zero-signal probability for
+every round-robin pair of the eight synthetic adder inputs.
+
+Shape target: pair 1+8 (<0,0,0> + <1,1,1>) is the minimum; only wide
+PMOS remain fully stressed under it.
+"""
+
+from repro.analysis import format_series
+from repro.core.combinational import search_best_pair
+
+from conftest import write_result
+
+
+def test_fig4_input_pair_search(benchmark, adder32):
+    result = benchmark.pedantic(
+        search_best_pair, args=(adder32,), rounds=1, iterations=1
+    )
+    fractions = result.fractions()
+    assert result.best_pair == (1, 8)
+    best_report = result.reports[(1, 8)]
+    assert best_report.narrow_fully_stressed == 0
+    assert best_report.wide_fully_stressed > 0
+
+    series = {
+        f"{a}+{b}": fractions[(a, b)]
+        for (a, b) in sorted(fractions)
+    }
+    text = format_series(
+        series,
+        title=("Figure 4 — % narrow transistors with 100% zero-signal "
+               "probability (w.r.t. total transistors)"),
+    )
+    text += (
+        f"\nbest pair: {result.best_pair} "
+        f"(paper: 1+8 = <0,0,0> and <1,1,1>); "
+        f"wide PMOS fully stressed under it: "
+        f"{best_report.wide_fully_stressed}"
+    )
+    write_result("fig4_adder_pairs.txt", text)

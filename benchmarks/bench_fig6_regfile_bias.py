@@ -1,0 +1,70 @@
+"""Figure 6: INT and FP register-file bit bias, baseline vs ISV.
+
+Paper: worst bit bias falls from 89.9% (INT) / 84.2% (FP) to 48.5% /
+45.5% with inverted-sampled-value updates at register release.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table, merge_bias_arrays, worst_imbalance
+from repro.core.memory_like import ISVRegisterFileProtector
+from repro.uarch import TraceDrivenCore
+from repro.uarch.core import CompositeHooks
+from repro.uarch.uop import FP_WIDTH, INT_WIDTH
+
+from conftest import write_result
+
+
+def run_isv(workload):
+    results = []
+    for trace in workload:
+        hooks = CompositeHooks([
+            ISVRegisterFileProtector("int_rf", INT_WIDTH, 512.0),
+            ISVRegisterFileProtector("fp_rf", FP_WIDTH, 512.0),
+        ])
+        results.append(TraceDrivenCore(hooks=hooks).run(trace))
+    return results
+
+
+def _worst(results, fp):
+    merged = merge_bias_arrays(
+        [(r.fp_rf if fp else r.int_rf).bias_to_zero for r in results],
+        weights=[r.cycles for r in results],
+    )
+    __, bias = worst_imbalance(merged)
+    return max(bias, 1.0 - bias)
+
+
+def test_fig6_regfile_bias(benchmark, workload, baseline_results):
+    protected = benchmark.pedantic(
+        run_isv, args=(workload,), rounds=1, iterations=1
+    )
+    base = list(baseline_results.values())
+
+    int_base, int_isv = _worst(base, fp=False), _worst(protected, fp=False)
+    fp_base, fp_isv = _worst(base, fp=True), _worst(protected, fp=True)
+    free_int = float(np.mean([r.int_rf.free_fraction for r in base]))
+    free_fp = float(np.mean([r.fp_rf.free_fraction for r in base]))
+    ports_int = float(np.mean(
+        [r.int_rf.port_free_fraction for r in protected]
+    ))
+
+    assert int_isv < int_base
+    assert fp_isv < fp_base
+    assert int_base > 0.85       # paper: 89.9%
+    assert int_isv < 0.70        # paper: 48.5% (warmup-limited here)
+
+    rows = [
+        ["INT worst bias (baseline)", f"{int_base:.1%}", "89.9%"],
+        ["INT worst bias (ISV)", f"{int_isv:.1%}", "48.5%"],
+        ["FP worst bias (baseline)", f"{fp_base:.1%}", "84.2%"],
+        ["FP worst bias (ISV)", f"{fp_isv:.1%}", "45.5%"],
+        ["INT free fraction", f"{free_int:.1%}", "54%"],
+        ["FP free fraction", f"{free_fp:.1%}", "69%"],
+        ["INT write port free at release", f"{ports_int:.1%}", "92%"],
+    ]
+    write_result(
+        "fig6_regfile_bias.txt",
+        format_table(["statistic", "measured", "paper"], rows,
+                     title="Figure 6 — register file bit-cell balancing"),
+    )

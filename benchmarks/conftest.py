@@ -1,0 +1,59 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  Heavy
+artefacts (traces, baseline core runs) are session-scoped; each module
+prints its artefact and also writes it under ``benchmarks/results/`` so
+EXPERIMENTS.md can cite the measured numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List
+
+import pytest
+
+from repro.uarch import TraceDrivenCore
+from repro.workloads import TraceGenerator, suite_names
+
+#: Scaled-down study shape: one trace per Table 1 suite.
+BENCH_SEED = 1234
+BENCH_TRACE_LENGTH = 6000
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a rendered artefact for EXPERIMENTS.md."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name)
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print()
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def workload():
+    """One trace per suite (the paper's 531 traces, scaled)."""
+    generator = TraceGenerator(seed=BENCH_SEED)
+    return [
+        generator.generate(suite, length=BENCH_TRACE_LENGTH)
+        for suite in suite_names()
+    ]
+
+
+@pytest.fixture(scope="session")
+def baseline_results(workload) -> Dict[str, object]:
+    """Baseline (unprotected) core runs, one per suite."""
+    results = {}
+    for trace in workload:
+        results[trace.suite] = TraceDrivenCore().run(trace)
+    return results
+
+
+@pytest.fixture(scope="session")
+def adder32():
+    from repro.circuits import build_ladner_fischer_adder
+
+    return build_ladner_fischer_adder(width=32)

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Register-file ISV study (Section 4.4 / Figure 6).
+
+Replays a mixed workload through the core twice — baseline and with the
+ISV protector attached — and prints the per-bit bias of the INT and FP
+register files before and after, plus the mechanism's bookkeeping
+(port availability, discarded updates, inverted-time fraction).
+
+Run:  python examples/regfile_isv_study.py
+"""
+
+import numpy as np
+
+from repro.analysis import merge_bias_arrays
+from repro.core.memory_like import ISVRegisterFileProtector
+from repro.uarch import TraceDrivenCore
+from repro.uarch.core import CompositeHooks
+from repro.uarch.uop import FP_WIDTH, INT_WIDTH
+from repro.workloads import TraceGenerator
+
+SUITES = ["specint2000", "specfp2000", "office"]
+LENGTH = 6000
+
+
+def run(protected: bool):
+    generator = TraceGenerator(seed=13)
+    results, protectors = [], []
+    for suite in SUITES:
+        trace = generator.generate(suite, length=LENGTH)
+        if protected:
+            p_int = ISVRegisterFileProtector("int_rf", INT_WIDTH, 512.0)
+            p_fp = ISVRegisterFileProtector("fp_rf", FP_WIDTH, 512.0)
+            hooks = CompositeHooks([p_int, p_fp])
+            protectors.append((p_int, p_fp))
+            core = TraceDrivenCore(hooks=hooks)
+        else:
+            core = TraceDrivenCore()
+        results.append(core.run(trace))
+    return results, protectors
+
+
+def sparkline(bias: np.ndarray, buckets: int = 16) -> str:
+    """Coarse per-bit bias visual (one char per bucket of bits)."""
+    glyphs = " .:-=+*#%@"
+    step = max(1, len(bias) // buckets)
+    chars = []
+    for start in range(0, len(bias), step):
+        window = bias[start:start + step]
+        imbalance = float(np.mean(np.abs(window - 0.5))) * 2
+        chars.append(glyphs[min(9, int(imbalance * 10))])
+    return "".join(chars)
+
+
+def report(label: str, results, fp: bool) -> np.ndarray:
+    merged = merge_bias_arrays(
+        [(r.fp_rf if fp else r.int_rf).bias_to_zero for r in results],
+        weights=[r.cycles for r in results],
+    )
+    worst = float(np.max(np.maximum(merged, 1 - merged)))
+    print(f"  {label:22s} worst bias {worst:.1%}  "
+          f"imbalance map [{sparkline(merged)}]")
+    return merged
+
+
+def main() -> None:
+    print("== baseline ==")
+    base_results, __ = run(protected=False)
+    report("INT register file", base_results, fp=False)
+    report("FP register file", base_results, fp=True)
+    free_int = np.mean([r.int_rf.free_fraction for r in base_results])
+    free_fp = np.mean([r.fp_rf.free_fraction for r in base_results])
+    print(f"  free time: INT {free_int:.0%} (paper 54%), "
+          f"FP {free_fp:.0%} (paper 69%) -> Figure 3 selects ISV")
+
+    print("\n== with ISV at release ==")
+    isv_results, protectors = run(protected=True)
+    report("INT register file", isv_results, fp=False)
+    report("FP register file", isv_results, fp=True)
+
+    written = sum(p.updates_written for pair in protectors for p in pair)
+    skipped = sum(p.updates_skipped for pair in protectors for p in pair)
+    inv_frac = np.mean([
+        pair[0].inverted_time_fraction for pair in protectors
+    ])
+    print(f"  updates written {written}, discarded {skipped} "
+          f"({skipped / max(1, written + skipped):.1%}; paper: rare)")
+    print(f"  inverted-time fraction {inv_frac:.1%} (target 50%)")
+    print("\npaper: worst bias 89.9% -> 48.5% (INT), 84.2% -> 45.5% (FP)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` falls back to the legacy ``setup.py develop`` path
+when a setup.py is present, which works offline; all metadata lives in
+pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,27 @@
+"""repro — reproduction of "Penelope: The NBTI-Aware Processor" (MICRO 2007).
+
+Layered structure:
+
+- :mod:`repro.nbti` — NBTI device physics and guardband calibration.
+- :mod:`repro.circuits` — gate-level circuits and the Ladner-Fischer
+  adder with per-PMOS stress accounting.
+- :mod:`repro.uarch` — the trace-driven core model (register files,
+  scheduler, caches, TLB, MOB, issue ports).
+- :mod:`repro.workloads` — synthetic Table 1 workload generators.
+- :mod:`repro.core` — the Penelope mechanisms and the NBTIefficiency
+  metric (the paper's contribution).
+- :mod:`repro.analysis` — aggregation and report formatting.
+
+Quick start::
+
+    from repro.workloads import generate_workload
+    from repro.core import PenelopeProcessor
+
+    workload = generate_workload(traces_per_suite=1, length=5000)
+    report = PenelopeProcessor().evaluate(workload)
+    print(report.efficiency, "vs baseline", report.baseline_efficiency)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,26 @@
+"""Measurement aggregation and report formatting.
+
+- :mod:`repro.analysis.bias` — merging bias statistics across traces.
+- :mod:`repro.analysis.report` — plain-text table/figure renderers used
+  by the benchmark harness to print the paper's artefacts.
+"""
+
+from repro.analysis.bias import (
+    merge_bias_arrays,
+    worst_imbalance,
+    bias_band,
+)
+from repro.analysis.report import (
+    format_table,
+    format_series,
+    format_histogram,
+)
+
+__all__ = [
+    "merge_bias_arrays",
+    "worst_imbalance",
+    "bias_band",
+    "format_table",
+    "format_series",
+    "format_histogram",
+]

@@ -1,0 +1,46 @@
+"""Bias aggregation helpers."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def merge_bias_arrays(
+    arrays: Sequence[np.ndarray],
+    weights: Sequence[float] | None = None,
+) -> np.ndarray:
+    """Weighted average of per-bit bias vectors across traces.
+
+    Weights default to uniform; for residency statistics, pass the
+    simulated cycle counts so longer traces count proportionally.
+    """
+    if not arrays:
+        raise ValueError("need at least one bias array")
+    widths = {a.shape for a in arrays}
+    if len(widths) != 1:
+        raise ValueError(f"bias arrays have mismatched shapes: {widths}")
+    if weights is None:
+        weights = [1.0] * len(arrays)
+    if len(weights) != len(arrays):
+        raise ValueError("weights and arrays must have the same length")
+    total_weight = float(sum(weights))
+    if total_weight <= 0.0:
+        raise ValueError("weights must sum to a positive value")
+    merged = np.zeros_like(arrays[0], dtype=np.float64)
+    for array, weight in zip(arrays, weights):
+        merged += array * (weight / total_weight)
+    return merged
+
+
+def worst_imbalance(bias: np.ndarray) -> Tuple[int, float]:
+    """(bit index, bias) of the most imbalanced position."""
+    imbalance = np.maximum(bias, 1.0 - bias)
+    index = int(np.argmax(imbalance))
+    return index, float(bias[index])
+
+
+def bias_band(bias: np.ndarray) -> Tuple[float, float]:
+    """(min, max) bias across positions — Section 1.1's "65% to 90%"."""
+    return float(np.min(bias)), float(np.max(bias))

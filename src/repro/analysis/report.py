@@ -1,0 +1,76 @@
+"""Plain-text renderers for the reproduced tables and figures."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(c) for c in row] for row in rows]
+    columns = len(headers)
+    for row in cells:
+        if len(row) != columns:
+            raise ValueError("row width does not match headers")
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells))
+        if cells else len(headers[i])
+        for i in range(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[object, float],
+    title: str = "",
+    percent: bool = True,
+    bar_width: int = 40,
+) -> str:
+    """Render a labelled value series with ASCII bars (figure stand-in)."""
+    if not series:
+        raise ValueError("series is empty")
+    peak = max(abs(v) for v in series.values()) or 1.0
+    lines = [title] if title else []
+    for label, value in series.items():
+        bar = "#" * int(round(bar_width * abs(value) / peak))
+        shown = f"{value * 100:6.2f}%" if percent else f"{value:8.4f}"
+        lines.append(f"{str(label):>24s} {shown} {bar}")
+    return "\n".join(lines)
+
+
+def format_histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    title: str = "",
+    bar_width: int = 40,
+) -> str:
+    """Render a simple ASCII histogram of a value distribution."""
+    if not values:
+        raise ValueError("values is empty")
+    if bins <= 0:
+        raise ValueError("bins must be positive")
+    low, high = min(values), max(values)
+    span = (high - low) or 1.0
+    counts = [0] * bins
+    for value in values:
+        index = min(bins - 1, int((value - low) / span * bins))
+        counts[index] += 1
+    peak = max(counts) or 1
+    lines = [title] if title else []
+    for i, count in enumerate(counts):
+        left = low + span * i / bins
+        right = low + span * (i + 1) / bins
+        bar = "#" * int(round(bar_width * count / peak))
+        lines.append(f"[{left:9.4f},{right:9.4f}) {count:6d} {bar}")
+    return "\n".join(lines)

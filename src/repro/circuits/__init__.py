@@ -1,0 +1,39 @@
+"""Gate-level combinational circuit substrate.
+
+The paper evaluated its combinational-block strategy on a 32-bit
+Ladner-Fischer adder laid out in 65nm and simulated with an Hspice-like
+Intel aging simulator.  This subpackage provides the open equivalent:
+
+- :mod:`repro.circuits.gates` — static-CMOS gate primitives (INV, NAND2,
+  NOR2) that expose their PMOS transistors, plus composite helpers.
+- :mod:`repro.circuits.netlist` — :class:`Circuit`: a named-node netlist
+  with topological evaluation and a :class:`CircuitBuilder` DSL.
+- :mod:`repro.circuits.ladner_fischer` — the 32-bit Ladner-Fischer
+  prefix adder netlist with fanout-based transistor sizing.
+- :mod:`repro.circuits.aging` — :class:`AgingSimulator`: drives a circuit
+  with (vector, duration) pairs and converts the resulting per-PMOS
+  zero-signal residency into guardband requirements.
+"""
+
+from repro.circuits.gates import Gate, GateKind
+from repro.circuits.netlist import Circuit, CircuitBuilder
+from repro.circuits.ladner_fischer import (
+    LadnerFischerAdder,
+    build_ladner_fischer_adder,
+)
+from repro.circuits.aging import AgingSimulator, AgingReport
+from repro.circuits.latches import LatchBank, LatchStudy, study_latch_bank
+
+__all__ = [
+    "LatchBank",
+    "LatchStudy",
+    "study_latch_bank",
+    "Gate",
+    "GateKind",
+    "Circuit",
+    "CircuitBuilder",
+    "LadnerFischerAdder",
+    "build_ladner_fischer_adder",
+    "AgingSimulator",
+    "AgingReport",
+]

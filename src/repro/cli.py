@@ -1,0 +1,205 @@
+"""Command-line interface: run the paper's studies from a shell.
+
+Examples
+--------
+::
+
+    python -m repro.cli physics --duty 0.7
+    python -m repro.cli adder --utilization 0.21
+    python -m repro.cli regfile --suites specint2000 office
+    python -m repro.cli caches --size-kb 16 --ways 8
+    python -m repro.cli penelope --length 5000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import format_series, format_table
+from repro.workloads import suite_names
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--suites", nargs="+", default=["specint2000", "office"],
+        choices=suite_names(), help="Table 1 suites to simulate",
+    )
+    parser.add_argument("--length", type=int, default=5000,
+                        help="uops per trace")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def cmd_physics(args: argparse.Namespace) -> int:
+    from repro.nbti.physics import ReactionDiffusionModel, steady_state_fill
+
+    model = ReactionDiffusionModel()
+    model.run_duty_cycle(args.duty, period=10.0, cycles=args.cycles)
+    print(f"duty {args.duty:.0%}: transient fill {model.fill:.4f}, "
+          f"steady state {steady_state_fill(args.duty):.4f}")
+    series = {f"{d / 10:.0%}": steady_state_fill(d / 10)
+              for d in range(0, 11)}
+    print(format_series(series, title="steady-state N_IT fill vs duty",
+                        percent=False))
+    return 0
+
+
+def cmd_adder(args: argparse.Namespace) -> int:
+    from repro.circuits import build_ladner_fischer_adder
+    from repro.core.combinational import (
+        adder_guardband_study,
+        search_best_pair,
+    )
+
+    adder = build_ladner_fischer_adder(width=args.width)
+    print(f"built {args.width}-bit Ladner-Fischer adder: "
+          f"{adder.gate_count} gates / {adder.pmos_count} PMOS")
+    search = search_best_pair(adder)
+    print(f"best idle pair: {search.best_pair} "
+          f"(narrow fully-stressed fraction "
+          f"{search.fractions()[search.best_pair]:.2%})")
+    vectors = [(0x12345678 & ((1 << args.width) - 1), 42, 0)]
+    study = adder_guardband_study(
+        adder, vectors, utilizations=(args.utilization,),
+        pair=search.best_pair,
+    )
+    print(format_series(study, title="guardband"))
+    return 0
+
+
+def cmd_regfile(args: argparse.Namespace) -> int:
+    from repro.core.memory_like import ISVRegisterFileProtector
+    from repro.uarch import TraceDrivenCore
+    from repro.uarch.core import CompositeHooks
+    from repro.uarch.uop import FP_WIDTH, INT_WIDTH
+    from repro.workloads import TraceGenerator
+
+    generator = TraceGenerator(seed=args.seed)
+    rows = []
+    for suite in args.suites:
+        trace = generator.generate(suite, length=args.length)
+        base = TraceDrivenCore().run(trace)
+        hooks = CompositeHooks([
+            ISVRegisterFileProtector("int_rf", INT_WIDTH),
+            ISVRegisterFileProtector("fp_rf", FP_WIDTH),
+        ])
+        prot = TraceDrivenCore(hooks=hooks).run(trace)
+        rows.append([
+            suite,
+            f"{base.int_rf.worst_bias:.1%}",
+            f"{prot.int_rf.worst_bias:.1%}",
+            f"{base.int_rf.free_fraction:.0%}",
+        ])
+    print(format_table(
+        ["suite", "worst bias (base)", "worst bias (ISV)", "free time"],
+        rows, title="register-file ISV study (paper: 89.9% -> 48.5%)",
+    ))
+    return 0
+
+
+def cmd_caches(args: argparse.Namespace) -> int:
+    from repro.core.cache_like import (
+        LineDynamicScheme,
+        LineFixedScheme,
+        SetFixedScheme,
+        run_cache_study,
+    )
+    from repro.uarch.cache import CacheConfig
+    from repro.workloads import generate_address_stream
+
+    config = CacheConfig(
+        name=f"DL0-{args.size_kb}K-{args.ways}w",
+        size_bytes=args.size_kb * 1024,
+        ways=args.ways,
+    )
+    streams = [
+        generate_address_stream(suite, length=args.length * 3,
+                                seed=args.seed)
+        for suite in args.suites
+    ]
+    rows = []
+    for factory in (
+        lambda: SetFixedScheme(0.5),
+        lambda: LineFixedScheme(0.5),
+        lambda: LineDynamicScheme(ratio=0.6, warmup=1000,
+                                  test_window=1000, period=6000),
+    ):
+        study = run_cache_study(config, factory, streams)
+        rows.append([study.scheme_name, f"{study.mean_loss:.2%}",
+                     f"{study.mean_inverted_ratio:.0%}"])
+    print(format_table(
+        ["scheme", "mean perf loss", "achieved invert ratio"],
+        rows, title=f"cache inversion study on {config.name}",
+    ))
+    return 0
+
+
+def cmd_penelope(args: argparse.Namespace) -> int:
+    from repro.core import PenelopeProcessor
+    from repro.workloads import generate_workload
+
+    workload = generate_workload(
+        traces_per_suite=1, length=args.length,
+        suites=args.suites, seed=args.seed,
+    )
+    report = PenelopeProcessor(seed=args.seed).evaluate(workload)
+    rows = [
+        [b.name, f"{b.guardband:.1%}", f"{b.efficiency:.2f}"]
+        for b in report.block_costs
+    ]
+    rows.append(["penelope processor",
+                 f"{report.processor.guardband:.1%}",
+                 f"{report.efficiency:.2f}"])
+    rows.append(["baseline (full guardband)", "20.0%",
+                 f"{report.baseline_efficiency:.2f}"])
+    print(format_table(["block", "guardband", "NBTIefficiency"], rows,
+                       title="Penelope whole-processor study"))
+    print(f"combined CPI {report.combined_cpi:.4f}; "
+          f"INT bias {report.int_rf_bias[0]:.2f}->"
+          f"{report.int_rf_bias[1]:.2f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Penelope (MICRO 2007) reproduction studies",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    physics = commands.add_parser("physics", help="NBTI physics curves")
+    physics.add_argument("--duty", type=float, default=0.7)
+    physics.add_argument("--cycles", type=int, default=100)
+    physics.set_defaults(func=cmd_physics)
+
+    adder = commands.add_parser("adder", help="adder aging study")
+    adder.add_argument("--width", type=int, default=32)
+    adder.add_argument("--utilization", type=float, default=0.21)
+    adder.set_defaults(func=cmd_adder)
+
+    regfile = commands.add_parser("regfile", help="register-file ISV study")
+    _add_workload_arguments(regfile)
+    regfile.set_defaults(func=cmd_regfile)
+
+    caches = commands.add_parser("caches", help="cache inversion study")
+    _add_workload_arguments(caches)
+    caches.add_argument("--size-kb", type=int, default=16)
+    caches.add_argument("--ways", type=int, default=8)
+    caches.set_defaults(func=cmd_caches)
+
+    penelope = commands.add_parser("penelope",
+                                   help="whole-processor study")
+    _add_workload_arguments(penelope)
+    penelope.set_defaults(func=cmd_penelope)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

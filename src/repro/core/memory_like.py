@@ -1,0 +1,352 @@
+"""RINV registers and protectors for explicitly managed blocks.
+
+Section 3.2.2: every explicitly managed structure (or field thereof) gets
+a special register, RINV, holding the value to write into entries when
+they are released.  RINV contents follow the per-bit techniques chosen by
+the Figure 3 casuistic:
+
+- ISV fields sample a workload value periodically and store its
+  inversion;
+- ALL1 / ALL0 / ALL1-K% fields hold constants or duty-cycled constants;
+- self-balanced and unprotected fields are left alone.
+
+Updates go through ports left idle by the workload and are discarded when
+none is available — Section 4.4 measures that this happens rarely (ports
+free 92% / 86% of the time for INT / FP register files).
+
+The protectors plug into :class:`repro.uarch.core.TraceDrivenCore` via
+its :class:`~repro.uarch.core.CoreHooks` observer interface.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from repro.core.policy import BitDirective, Technique, choose_technique, repair_bit
+from repro.uarch.core import CoreHooks
+from repro.uarch.regfile import RegisterFile
+from repro.uarch.scheduler import Scheduler
+from repro.uarch.uop import SCHEDULER_LAYOUT, Uop
+
+#: Default RINV sampling period in cycles ("we can update RINV with the
+#: value flowing through a given write port ... every one million
+#: cycles"; scaled to the library's shorter traces).
+DEFAULT_SAMPLE_PERIOD = 512.0
+
+#: Resolution of the K-duty phase counter for ALL1-K% techniques.
+K_PHASE_STEPS = 20
+
+
+class RINVRegister:
+    """The special register holding inverted sampled values."""
+
+    def __init__(self, width: int) -> None:
+        if width <= 0:
+            raise ValueError("width must be positive")
+        self.width = width
+        self._mask = (1 << width) - 1
+        self.value = self._mask  # inversion of the all-zeros reset value
+        self.updates = 0
+
+    def update_from_sample(self, sample: int) -> None:
+        """Store the inversion of a sampled workload value."""
+        self.value = (~sample) & self._mask
+        self.updates += 1
+
+
+class ISVRegisterFileProtector(CoreHooks):
+    """ISV protection of a register file (Section 4.4).
+
+    Registers are free more than 50% of the time, so the Figure 3
+    casuistic selects ISV: released registers are overwritten with RINV
+    (an inverted sampled value) — but only while entries have spent more
+    time non-inverted than inverted, which the mechanism decides by
+    timestamping a *single sampled entry* ("statistically, all entries
+    will spend the same time inverted ... we choose a fixed entry for the
+    sake of simplicity").
+    """
+
+    def __init__(
+        self,
+        rf_name: str,
+        width: int,
+        sample_period: float = DEFAULT_SAMPLE_PERIOD,
+        entries_hint: int = 128,
+    ) -> None:
+        if sample_period <= 0.0:
+            raise ValueError("sample_period must be positive")
+        self.rf_name = rf_name
+        self.rinv = RINVRegister(width)
+        self.sample_period = sample_period
+        self._last_sample = -sample_period  # sample immediately
+        # Inverted-residency tracker.  The paper timestamps one sampled
+        # entry ("tracking all entries or any entry gives the same
+        # results"); we integrate over the whole population, which is the
+        # same estimator without single-entry sampling noise: in the
+        # simulation the single entry's phase correlates with the global
+        # decision and systematically under-inverts.
+        self._entries = entries_hint
+        self._inverted: set = set()
+        self._inv_integral = 0.0
+        self._total_integral = 0.0
+        self._last_event = 0.0
+        self.updates_written = 0
+        self.updates_skipped = 0
+
+    # -- CoreHooks ------------------------------------------------------
+    def on_regfile_write(self, rf: RegisterFile, entry: int, value: int,
+                         now: float) -> None:
+        if rf.name != self.rf_name:
+            return
+        self._entries = rf.entries
+        if now - self._last_sample >= self.sample_period:
+            self.rinv.update_from_sample(value)
+            self._last_sample = now
+        self._integrate(now)
+        self._inverted.discard(entry)
+
+    def on_regfile_release(self, rf: RegisterFile, entry: int,
+                           now: float) -> None:
+        if rf.name != self.rf_name:
+            return
+        self._entries = rf.entries
+        self._integrate(now)
+        if self._should_invert():
+            if rf.write_special(entry, self.rinv.value, now):
+                self.updates_written += 1
+                self._inverted.add(entry)
+            else:
+                self.updates_skipped += 1
+
+    # -- internals ------------------------------------------------------
+    def _should_invert(self) -> bool:
+        """Invert while cumulative inverted residency trails 50%."""
+        return self._inv_integral <= 0.5 * self._total_integral
+
+    def _integrate(self, now: float) -> None:
+        elapsed = now - self._last_event
+        if elapsed > 0.0:
+            self._inv_integral += elapsed * len(self._inverted)
+            self._total_integral += elapsed * self._entries
+            self._last_event = now
+
+    @property
+    def inverted_time_fraction(self) -> float:
+        """Fraction of entry-time spent holding inverted contents."""
+        if self._total_integral <= 0.0:
+            return 0.0
+        return self._inv_integral / self._total_integral
+
+
+#: Fields whose activity is self-balanced by construction (register file
+#: entries and MOB slots are used evenly — Section 4.5).
+SELF_BALANCED_FIELDS = ("dst_tag", "src1_tag", "src2_tag", "mob_id")
+
+#: Per-field, per-bit directives for the scheduler.
+SchedulerPolicy = Dict[str, List[BitDirective]]
+
+
+def _directives(technique: Technique, width: int, k: float = 1.0) -> List[BitDirective]:
+    return [BitDirective(technique, k) for _ in range(width)]
+
+
+def _paper_policy() -> SchedulerPolicy:
+    """The field classification published in Section 4.5.
+
+    - ALL1: latency bits 4-5, port, flags, shift1, shift2.
+    - ALL1-K%: latency bits 1-3 (K = 95/75/95%), taken (50%), tos (50%),
+      ready1/ready2 (60%).
+    - ISV: src1_data, src2_data, immediate (and opcode, which the paper
+      leaves implementation-defined).
+    - Self-balanced: register tags and MOB id.
+    - Unprotected: valid.
+    """
+    layout = SCHEDULER_LAYOUT
+    policy: SchedulerPolicy = {
+        "valid": _directives(Technique.UNPROTECTED, layout.valid),
+        "latency": [
+            BitDirective(Technique.ALL1_K, 0.95),
+            BitDirective(Technique.ALL1_K, 0.75),
+            BitDirective(Technique.ALL1_K, 0.95),
+            BitDirective(Technique.ALL1),
+            BitDirective(Technique.ALL1),
+        ],
+        "port": _directives(Technique.ALL1, layout.port),
+        "taken": _directives(Technique.ALL1_K, layout.taken, k=0.50),
+        "mob_id": _directives(Technique.SELF_BALANCED, layout.mob_id),
+        "tos": _directives(Technique.ALL1_K, layout.tos, k=0.50),
+        "flags": _directives(Technique.ALL1, layout.flags),
+        "shift1": _directives(Technique.ALL1, layout.shift1),
+        "shift2": _directives(Technique.ALL1, layout.shift2),
+        "dst_tag": _directives(Technique.SELF_BALANCED, layout.dst_tag),
+        "src1_tag": _directives(Technique.SELF_BALANCED, layout.src1_tag),
+        "src2_tag": _directives(Technique.SELF_BALANCED, layout.src2_tag),
+        "ready1": _directives(Technique.ALL1_K, layout.ready1, k=0.60),
+        "ready2": _directives(Technique.ALL1_K, layout.ready2, k=0.60),
+        "src1_data": _directives(Technique.ISV, layout.src1_data),
+        "src2_data": _directives(Technique.ISV, layout.src2_data),
+        "immediate": _directives(Technique.ISV, layout.immediate),
+        "opcode": _directives(Technique.ISV, layout.opcode),
+    }
+    return policy
+
+
+#: The classification published in the paper (Section 4.5).
+PAPER_SCHEDULER_POLICY: SchedulerPolicy = _paper_policy()
+
+#: ISV fields sample these uop attributes (pre-inversion).
+_ISV_SOURCES = {
+    "src1_data": lambda uop: uop.src1_value,
+    "src2_data": lambda uop: uop.src2_value,
+    "immediate": lambda uop: uop.immediate,
+    "opcode": lambda uop: uop.opcode,
+}
+
+
+class SchedulerProtector(CoreHooks):
+    """Applies a :data:`SchedulerPolicy` at slot release (Section 4.5)."""
+
+    def __init__(
+        self,
+        policy: Optional[SchedulerPolicy] = None,
+        sample_period: float = DEFAULT_SAMPLE_PERIOD,
+    ) -> None:
+        self.policy = policy if policy is not None else PAPER_SCHEDULER_POLICY
+        self.sample_period = sample_period
+        layout = SCHEDULER_LAYOUT.fields()
+        self.rinv: Dict[str, RINVRegister] = {
+            name: RINVRegister(width)
+            for name, width in layout.items()
+            if name in _ISV_SOURCES
+        }
+        self._last_sample = -sample_period
+        self._phase_counter = 0
+        self.updates_written = 0
+        self.updates_skipped = 0
+
+    # -- CoreHooks ------------------------------------------------------
+    def on_scheduler_fill(self, sched: Scheduler, slot: int, uop: Uop,
+                          now: float) -> None:
+        if now - self._last_sample < self.sample_period:
+            return
+        self._last_sample = now
+        for fieldname, source in _ISV_SOURCES.items():
+            width = self.rinv[fieldname].width
+            self.rinv[fieldname].update_from_sample(
+                source(uop) & ((1 << width) - 1)
+            )
+
+    def on_scheduler_release(self, sched: Scheduler, slot: int,
+                             now: float) -> None:
+        values = self._compose_repair_values(sched)
+        if not values:
+            return
+        if sched.write_special(slot, values, now):
+            self.updates_written += 1
+        else:
+            self.updates_skipped += 1
+        self._phase_counter += 1
+
+    # -- internals ------------------------------------------------------
+    def _compose_repair_values(self, sched: Scheduler) -> Dict[str, int]:
+        phase = (self._phase_counter % K_PHASE_STEPS) / K_PHASE_STEPS
+        values: Dict[str, int] = {}
+        for fieldname, directives in self.policy.items():
+            rinv = self.rinv.get(fieldname)
+            inverted_sample = rinv.value if rinv is not None else None
+            composed = 0
+            any_bit = False
+            for bit_index, directive in enumerate(directives):
+                sampled_bit = None
+                if inverted_sample is not None:
+                    # RINV already stores the inversion; undo it here
+                    # because repair_bit() inverts sampled bits itself.
+                    sampled_bit = 1 - ((inverted_sample >> bit_index) & 1)
+                bit = repair_bit(directive, phase, sampled_bit)
+                if bit is None:
+                    continue
+                any_bit = True
+                composed |= bit << bit_index
+            if any_bit:
+                values[fieldname] = composed
+        return values
+
+
+class SchedulerProfiler(CoreHooks):
+    """Profiling pass: collects busy-time bit statistics at dispatch.
+
+    The paper derives K for each field from 100 profiling traces
+    (Section 4.5); this hook accumulates the per-bit one-frequency of
+    dispatched payloads, which :func:`derive_scheduler_policy` combines
+    with the measured occupancy.
+    """
+
+    def __init__(self) -> None:
+        layout = SCHEDULER_LAYOUT
+        self.fills = 0
+        self._ones = {
+            name: [0] * width for name, width in layout.fields().items()
+        }
+        self._field_fills = {name: 0 for name in layout.fields()}
+
+    def on_scheduler_fill(self, sched: Scheduler, slot: int, uop: Uop,
+                          now: float) -> None:
+        self.fills += 1
+        mob_id = 0 if uop.uop_class.is_memory else None
+        values = sched.field_values(uop, mob_id=mob_id)
+        for name, counts in self._ones.items():
+            if name not in values:
+                continue
+            self._field_fills[name] += 1
+            value = values[name]
+            for bit_index in range(len(counts)):
+                counts[bit_index] += (value >> bit_index) & 1
+
+    def busy_bias_to_zero(self) -> Dict[str, List[float]]:
+        """Per-field, per-bit fraction of dispatched payloads with a 0."""
+        if self.fills == 0:
+            raise ValueError("no fills profiled yet")
+        return {
+            name: [
+                1.0 - ones / max(1, self._field_fills[name])
+                for ones in counts
+            ]
+            for name, counts in self._ones.items()
+        }
+
+
+def derive_scheduler_policy(
+    profiler: SchedulerProfiler,
+    occupancy: float,
+    field_occupancy: Optional[Mapping[str, float]] = None,
+) -> SchedulerPolicy:
+    """Build a policy from profiling data via the Figure 3 casuistic.
+
+    Parameters
+    ----------
+    profiler:
+        A :class:`SchedulerProfiler` that observed a profiling run.
+    occupancy:
+        Measured scheduler occupancy (the paper's is 63%).
+    field_occupancy:
+        Per-field overrides — the data fields are effectively available
+        70-75% of the time "because they remain unused beyond the
+        allocation or are not used at all for some instructions".
+    """
+    bias = profiler.busy_bias_to_zero()
+    overrides = dict(field_occupancy or {})
+    policy: SchedulerPolicy = {}
+    for name, bit_biases in bias.items():
+        occ = overrides.get(name, occupancy)
+        directives = []
+        for bit_bias in bit_biases:
+            directives.append(
+                choose_technique(
+                    occupancy=occ,
+                    busy_bias_to_zero=bit_bias,
+                    self_balanced=name in SELF_BALANCED_FIELDS,
+                    protectable=name != "valid",
+                )
+            )
+        policy[name] = directives
+    return policy

@@ -1,0 +1,162 @@
+"""The Figure 3 casuistic: choosing the repair technique per bit cell.
+
+Explicitly managed blocks write special values into *released* entries.
+What value to write depends on how busy the entry is and how biased its
+busy-time contents are (Section 3.2, situations I–V):
+
+- free more than half the time          -> ISV (inverted sampled values)
+- busy, bias removable during idle time -> ALL1-K% / ALL0-K%
+- busy, bias not removable              -> ALL1 / ALL0 (best effort)
+- contents self-balanced                -> nothing to do
+- always busy (e.g. the valid bit)      -> nothing *can* be done
+
+The paper applies the casuistic per field, with per-bit K values for
+multi-bit fields (Section 4.5 lists K per latency bit); this module
+implements it at bit granularity, which subsumes both.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class Technique(enum.Enum):
+    """Repair technique for one bit cell (Section 3.2.2)."""
+
+    ALL1 = "all1"            # RINV bit always 1
+    ALL0 = "all0"            # RINV bit always 0
+    ALL1_K = "all1-k"        # RINV bit 1 for K% of the idle time
+    ALL0_K = "all0-k"        # RINV bit 0 for K% of the idle time
+    ISV = "isv"              # inverted sampled values
+    SELF_BALANCED = "self"   # activity already balanced; no repair
+    UNPROTECTED = "none"     # nothing can be done (e.g. valid bit)
+
+
+@dataclass(frozen=True)
+class BitDirective:
+    """Technique plus its K parameter for one bit cell."""
+
+    technique: Technique
+    k: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.k <= 1.0:
+            raise ValueError(f"K must be within [0, 1], got {self.k!r}")
+
+
+def ideal_k(occupancy: float, busy_bias_to_zero: float) -> float:
+    """K that balances a bit given its occupancy and busy-time bias.
+
+    With occupancy ``o`` and busy-time bias-to-zero ``b``, writing "1"
+    during a fraction K of the idle time makes the total zero-time
+
+        o*b + (1 - o)*(1 - K)
+
+    Solving for 0.5 gives K = 1 - (0.5 - o*b) / (1 - o), clamped to
+    [0, 1] (K = 1 degenerates to ALL1, matching "ALL1(0) is a special
+    case of ALL1-K%(0) when K=100%").
+    """
+    _check_fraction("occupancy", occupancy)
+    _check_fraction("busy_bias_to_zero", busy_bias_to_zero)
+    if occupancy >= 1.0:
+        return 1.0
+    k = 1.0 - (0.5 - occupancy * busy_bias_to_zero) / (1.0 - occupancy)
+    return min(1.0, max(0.0, k))
+
+
+def choose_technique(
+    occupancy: float,
+    busy_bias_to_zero: float,
+    self_balanced: bool = False,
+    protectable: bool = True,
+    balance_tolerance: float = 0.02,
+) -> BitDirective:
+    """Figure 3, at bit granularity.
+
+    Parameters
+    ----------
+    occupancy:
+        Fraction of time the bit cell holds live data.
+    busy_bias_to_zero:
+        Fraction of the *busy* time the cell stores "0".
+    self_balanced:
+        Structural knowledge that activity is already balanced
+        (register tags, MOB ids) — situation V.
+    protectable:
+        False for bits whose contents are always live (the valid bit) —
+        situation IV.
+    balance_tolerance:
+        Slack around perfect balance below which K-techniques collapse
+        to their degenerate forms.
+    """
+    _check_fraction("occupancy", occupancy)
+    _check_fraction("busy_bias_to_zero", busy_bias_to_zero)
+    if not protectable:
+        return BitDirective(Technique.UNPROTECTED)
+    if self_balanced:
+        return BitDirective(Technique.SELF_BALANCED)
+    if occupancy <= 0.5:
+        return BitDirective(Technique.ISV)
+
+    bias0 = busy_bias_to_zero
+    bias1 = 1.0 - busy_bias_to_zero
+    if occupancy * bias0 > 0.5:
+        # Even writing "1" the whole idle time cannot balance: ALL1.
+        return BitDirective(Technique.ALL1, k=1.0)
+    if occupancy * bias1 > 0.5:
+        return BitDirective(Technique.ALL0, k=1.0)
+    if bias0 > bias1 + balance_tolerance:
+        return BitDirective(Technique.ALL1_K, k=ideal_k(occupancy, bias0))
+    if bias1 > bias0 + balance_tolerance:
+        # Dual case: write "0" during K% of the idle time to offset a
+        # bias towards "1"; by symmetry K balances the one-time.
+        return BitDirective(Technique.ALL0_K, k=ideal_k(occupancy, bias1))
+    return BitDirective(Technique.SELF_BALANCED)
+
+
+def repair_bit(
+    directive: BitDirective,
+    phase: float,
+    sampled_bit: Optional[int] = None,
+) -> Optional[int]:
+    """The RINV bit value a directive produces.
+
+    Parameters
+    ----------
+    directive:
+        The bit's technique.
+    phase:
+        A value in [0, 1) cycling over time (e.g. a counter modulo its
+        period); K-techniques compare it against K.
+    sampled_bit:
+        The current sampled workload bit for ISV (pre-inversion).
+
+    Returns
+    -------
+    int or None
+        The bit to write into a released entry, or None when the bit
+        must be left untouched.
+    """
+    if not 0.0 <= phase < 1.0:
+        raise ValueError(f"phase must be within [0, 1), got {phase!r}")
+    technique = directive.technique
+    if technique is Technique.ALL1:
+        return 1
+    if technique is Technique.ALL0:
+        return 0
+    if technique is Technique.ALL1_K:
+        return 1 if phase < directive.k else 0
+    if technique is Technique.ALL0_K:
+        return 0 if phase < directive.k else 1
+    if technique is Technique.ISV:
+        if sampled_bit is None:
+            return None
+        return 1 - sampled_bit
+    return None
+
+
+def _check_fraction(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be within [0, 1], got {value!r}")

@@ -1,0 +1,136 @@
+"""Transistor resizing as the fallback mitigation (Sections 3.1 / 3.2).
+
+When balancing is infeasible — a block busy most of the time, or a bit
+stuck beyond the 50% budget — the paper's escape hatch is widening the
+offending transistors: "resize those PMOS transistors that are expected
+to make the block fail before the target lifetime has elapsed, which has
+a cost in delay, area and power".
+
+This module turns an aging report into a resizing plan and prices it:
+widened PMOS tolerate full bias (ref [19]), the block's guardband then
+follows the worst *remaining* narrow device, and the extra area is
+charged to TDP (the paper's simplifying assumption in Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.circuits.aging import AgingSimulator
+from repro.core.metric import BlockCost
+from repro.nbti.guardband import DEFAULT_GUARDBAND_MODEL, GuardbandModel
+from repro.nbti.transistor import PMOSTransistor, WidthClass
+
+#: Area of a widened PMOS relative to a minimum-width one.  Doubling the
+#: width is the textbook sizing step that meaningfully slows NBTI.
+WIDE_AREA_FACTOR = 2.0
+
+
+@dataclass(frozen=True)
+class ResizingPlan:
+    """Which transistors to widen and what it costs."""
+
+    resized: Tuple[str, ...]
+    duty_threshold: float
+    residual_worst_duty: float
+    guardband: float
+    area_overhead: float
+
+    @property
+    def count(self) -> int:
+        return len(self.resized)
+
+    def block_cost(self, name: str = "resized-block",
+                   delay: float = 1.0) -> BlockCost:
+        """Price the plan as a metric block (area charged to TDP)."""
+        return BlockCost(
+            name=name,
+            delay=delay,
+            guardband=self.guardband,
+            tdp=1.0 + self.area_overhead,
+        )
+
+
+def plan_resizing(
+    simulator: AgingSimulator,
+    duty_threshold: float = 0.8,
+    model: GuardbandModel = DEFAULT_GUARDBAND_MODEL,
+) -> ResizingPlan:
+    """Widen every narrow PMOS whose duty exceeds ``duty_threshold``.
+
+    Parameters
+    ----------
+    simulator:
+        An aged circuit (drive it with the block's input schedule first).
+    duty_threshold:
+        Zero-signal probability beyond which a narrow device cannot meet
+        the target lifetime and must be widened.
+
+    Returns
+    -------
+    ResizingPlan
+        The victims, the guardband of the resized design (set by the
+        worst remaining narrow PMOS), and the relative area overhead.
+    """
+    if not 0.5 <= duty_threshold <= 1.0:
+        raise ValueError("duty_threshold must be within [0.5, 1.0]")
+    circuit = simulator.circuit
+    narrow = circuit.narrow_pmos()
+    if not narrow:
+        raise ValueError("circuit has no narrow PMOS to resize")
+
+    victims: List[PMOSTransistor] = []
+    residual = 0.0
+    for pmos in narrow:
+        duty = simulator.pmos_duty(pmos)
+        if duty > duty_threshold:
+            victims.append(pmos)
+        else:
+            residual = max(residual, duty)
+
+    total_pmos = len(circuit.pmos_transistors())
+    area_overhead = (
+        len(victims) * (WIDE_AREA_FACTOR - 1.0) / total_pmos
+    )
+    return ResizingPlan(
+        resized=tuple(p.name for p in victims),
+        duty_threshold=duty_threshold,
+        residual_worst_duty=residual,
+        guardband=model.guardband_for_duty(residual),
+        area_overhead=area_overhead,
+    )
+
+
+def apply_resizing(simulator: AgingSimulator, plan: ResizingPlan) -> int:
+    """Re-size the planned transistors' gates to WIDE in the netlist.
+
+    Widening is per-gate (a gate's pull-up network is sized together),
+    so every gate owning a victim PMOS is converted.  Returns the number
+    of gates changed.
+    """
+    circuit = simulator.circuit
+    victims = set(plan.resized)
+    gate_names = [
+        gate.name
+        for gate in circuit.gates
+        if any(p.name in victims for p in gate.pmos)
+    ]
+    return circuit.resize_gates(gate_names, WidthClass.WIDE)
+
+
+def resizing_tradeoff(
+    simulator: AgingSimulator,
+    thresholds: Sequence[float] = (0.95, 0.9, 0.8, 0.7, 0.6),
+    model: GuardbandModel = DEFAULT_GUARDBAND_MODEL,
+) -> List[ResizingPlan]:
+    """Sweep the resizing aggressiveness: guardband vs area.
+
+    Lower thresholds widen more devices: the guardband shrinks toward
+    the 2% floor while the area (TDP) overhead grows — the delay/area/
+    power cost the paper repeatedly warns about.
+    """
+    return [
+        plan_resizing(simulator, threshold, model)
+        for threshold in thresholds
+    ]

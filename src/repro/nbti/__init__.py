@@ -1,0 +1,46 @@
+"""NBTI physics substrate.
+
+This subpackage models the device-level behaviour that the paper's
+architectural techniques exploit:
+
+- :mod:`repro.nbti.physics` — a reaction–diffusion model of interface-trap
+  (N_IT) generation and recovery reproducing the saw-tooth of Figure 1.
+- :mod:`repro.nbti.stress` — bookkeeping of per-node zero-signal residency
+  ("duty cycle"), the quantity all architectural mechanisms try to balance.
+- :mod:`repro.nbti.guardband` — the calibrated mapping from duty cycle to
+  V_TH shift, cycle-time guardband and Vmin increase.
+- :mod:`repro.nbti.transistor` — PMOS transistor descriptors (width class,
+  circuit node binding) used by the gate-level aging simulator.
+"""
+
+from repro.nbti.physics import (
+    ReactionDiffusionModel,
+    StressPhase,
+    simulate_waveform,
+    steady_state_fill,
+)
+from repro.nbti.stress import BitCellStress, StressLedger
+from repro.nbti.guardband import (
+    GuardbandModel,
+    DEFAULT_GUARDBAND_MODEL,
+    MIN_GUARDBAND,
+    WORST_GUARDBAND,
+)
+from repro.nbti.power import ArrayPowerModel
+from repro.nbti.transistor import PMOSTransistor, WidthClass
+
+__all__ = [
+    "ReactionDiffusionModel",
+    "StressPhase",
+    "simulate_waveform",
+    "steady_state_fill",
+    "BitCellStress",
+    "StressLedger",
+    "GuardbandModel",
+    "DEFAULT_GUARDBAND_MODEL",
+    "MIN_GUARDBAND",
+    "WORST_GUARDBAND",
+    "ArrayPowerModel",
+    "PMOSTransistor",
+    "WidthClass",
+]

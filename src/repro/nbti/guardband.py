@@ -1,0 +1,167 @@
+"""Calibrated mapping from zero-signal probability to guardband and Vmin.
+
+The paper never publishes an analytic duty->guardband curve; it quotes two
+anchor points from ref [1] (Abadeer & Ellis, IRPS 2003):
+
+- a fully-biased PMOS (zero-signal probability 100%) requires a **20%**
+  cycle-time guardband, and
+- a balanced PMOS (50%) requires only **2%** (the "10x reduction").
+
+Every per-block guardband number in the paper's evaluation is consistent
+with *linear interpolation* between those two anchors:
+
+======================  ==========  ===================  ============
+Block                   worst duty  linear interpolation  paper quotes
+======================  ==========  ===================  ============
+FP register file (ISV)  54.5%       2% + 0.045*36% = 3.6%   3.6%
+Adder, 21% utilization  60.5%       2% + 0.105*36% = 5.8%   5.8%
+Scheduler (worst bit)   63.2%       2% + 0.132*36% = 6.75%  6.7%
+Adder, 30% utilization  65.0%       2% + 0.150*36% = 7.4%   7.4%
+======================  ==========  ===================  ============
+
+(the slope is (20% - 2%) / (100% - 50%) = 36% guardband per unit duty).
+:class:`GuardbandModel` encodes exactly that calibration, clamping duties
+below 50% to the minimum guardband (a bit cell cannot do better than
+balanced: its two PMOS see complementary signals).
+
+The same module maps duty to V_TH shift (10% fully-biased -> 1% balanced,
+also from ref [1]) and to the Vmin increase of storage structures ("10%
+Vmin increase may be required to tolerate 10% V_TH shifts", Section 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nbti.physics import steady_state_fill
+
+#: Guardband required by a balanced (50% duty) PMOS — paper Section 4.2.
+MIN_GUARDBAND = 0.02
+
+#: Guardband required by a fully biased (100% duty) PMOS — paper Section 1.
+WORST_GUARDBAND = 0.20
+
+#: V_TH shift of a fully biased PMOS over the product lifetime (ref [1]).
+WORST_VTH_SHIFT = 0.10
+
+#: V_TH shift of a balanced PMOS (the 10x reduction quoted in Section 1).
+BALANCED_VTH_SHIFT = 0.01
+
+#: Vmin increase per unit of V_TH shift ("10% Vmin increase ... to
+#: tolerate 10% V_TH shifts", Section 1).
+VMIN_PER_VTH = 1.0
+
+
+@dataclass(frozen=True)
+class GuardbandModel:
+    """Duty-cycle -> guardband / V_TH / Vmin calibration.
+
+    Parameters
+    ----------
+    min_guardband:
+        Guardband at 50% zero-signal probability (default 2%).
+    worst_guardband:
+        Guardband at 100% zero-signal probability (default 20%).
+
+    Examples
+    --------
+    >>> model = GuardbandModel()
+    >>> round(model.guardband_for_duty(0.65), 4)
+    0.074
+    >>> round(model.guardband_for_bias(0.455), 4)   # FP RF after ISV
+    0.0362
+    """
+
+    min_guardband: float = MIN_GUARDBAND
+    worst_guardband: float = WORST_GUARDBAND
+    worst_vth_shift: float = WORST_VTH_SHIFT
+    balanced_vth_shift: float = BALANCED_VTH_SHIFT
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.min_guardband < self.worst_guardband:
+            raise ValueError(
+                "guardband anchors must satisfy 0 <= min < worst; got "
+                f"min={self.min_guardband!r} worst={self.worst_guardband!r}"
+            )
+        if not 0.0 < self.balanced_vth_shift < self.worst_vth_shift:
+            raise ValueError("V_TH anchors must satisfy 0 < balanced < worst")
+
+    # ------------------------------------------------------------------
+    # Cycle-time guardband
+    # ------------------------------------------------------------------
+    @property
+    def slope(self) -> float:
+        """Guardband increase per unit of duty above 0.5."""
+        return (self.worst_guardband - self.min_guardband) / 0.5
+
+    def guardband_for_duty(self, duty: float) -> float:
+        """Guardband required for a PMOS with the given duty cycle.
+
+        Duties below 0.5 are clamped to the minimum guardband: in bit
+        cells the complementary PMOS then exceeds 0.5, and even in
+        combinational logic the paper never credits guardbands below the
+        2% floor.
+        """
+        if not 0.0 <= duty <= 1.0:
+            raise ValueError(f"duty must be within [0, 1], got {duty!r}")
+        if duty <= 0.5:
+            return self.min_guardband
+        return self.min_guardband + (duty - 0.5) * self.slope
+
+    def guardband_for_bias(self, bias_to_zero: float) -> float:
+        """Guardband for an SRAM bit cell with the given bias towards "0".
+
+        A bit cell holds two cross-coupled inverters; when the cell stores
+        "0" one PMOS is stressed, when it stores "1" the other one is.
+        The cell's guardband is therefore governed by the *more* stressed
+        of the two: duty = max(bias, 1 - bias).
+        """
+        if not 0.0 <= bias_to_zero <= 1.0:
+            raise ValueError(f"bias must be within [0, 1], got {bias_to_zero!r}")
+        return self.guardband_for_duty(max(bias_to_zero, 1.0 - bias_to_zero))
+
+    def guardband_reduction(self, duty: float) -> float:
+        """Factor by which the worst-case guardband shrinks at ``duty``.
+
+        Returns ``worst_guardband / guardband_for_duty(duty)``; equals the
+        paper's "10x" at duty 0.5.
+        """
+        return self.worst_guardband / self.guardband_for_duty(duty)
+
+    # ------------------------------------------------------------------
+    # V_TH shift and Vmin (storage structures)
+    # ------------------------------------------------------------------
+    def vth_shift_for_duty(self, duty: float) -> float:
+        """Lifetime V_TH shift (fraction of nominal V_TH) at ``duty``.
+
+        Follows the reaction–diffusion steady state, rescaled to hit the
+        two anchors (1% at 50% duty, 10% at 100%).
+        """
+        if not 0.0 <= duty <= 1.0:
+            raise ValueError(f"duty must be within [0, 1], got {duty!r}")
+        fill = steady_state_fill(duty)
+        balanced_fill = steady_state_fill(0.5)
+        if fill <= balanced_fill:
+            # Below the balanced anchor, scale proportionally to fill.
+            if balanced_fill == 0.0:
+                return 0.0
+            return self.balanced_vth_shift * fill / balanced_fill
+        # Between the anchors, interpolate on the fill level.
+        span = 1.0 - balanced_fill
+        frac = (fill - balanced_fill) / span
+        return self.balanced_vth_shift + frac * (
+            self.worst_vth_shift - self.balanced_vth_shift
+        )
+
+    def vmin_increase_for_bias(self, bias_to_zero: float) -> float:
+        """Required Vmin increase (fraction of nominal Vdd) for a cell.
+
+        Applies the paper's rule of thumb that Vmin must rise one-for-one
+        with the V_TH shift of the worst PMOS in the cell.
+        """
+        duty = max(bias_to_zero, 1.0 - bias_to_zero)
+        return VMIN_PER_VTH * self.vth_shift_for_duty(duty)
+
+
+#: Shared default calibration used across the library.
+DEFAULT_GUARDBAND_MODEL = GuardbandModel()

@@ -1,0 +1,109 @@
+"""Vmin-driven power model for memory-like structures.
+
+The paper's second benefit (Section 1, Conclusions): mitigating NBTI
+keeps the minimum retention voltage (Vmin) of SRAM from rising, so
+"the supply voltage can be decreased ... for power savings" and the
+structures reach "higher power efficiency".
+
+This module prices that benefit with first-order SRAM energy physics:
+
+- dynamic energy scales with C·V², so it follows (V/V_nom)²;
+- leakage power scales roughly with V·exp(V/V_t-ish) — modelled here
+  with the common quadratic-plus-linear fit, pessimistic for NBTI
+  (i.e. the reported savings are conservative);
+- the operating voltage of a voltage-scaled array is
+  ``max(V_target, Vmin)``, and Vmin rises one-for-one with the worst
+  bit cell's V_TH shift (:mod:`repro.nbti.guardband`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nbti.guardband import DEFAULT_GUARDBAND_MODEL, GuardbandModel
+
+#: Nominal supply at which energies are normalised.
+NOMINAL_VDD = 1.0
+
+#: Nominal Vmin headroom: an undegraded array retains state down to
+#: this fraction of the nominal supply (typical 65nm SRAM figure).
+NOMINAL_VMIN = 0.70
+
+#: Fraction of array power that is leakage at nominal conditions.
+LEAKAGE_SHARE = 0.4
+
+
+@dataclass(frozen=True)
+class ArrayPowerModel:
+    """First-order SRAM array power as a function of supply voltage."""
+
+    nominal_vdd: float = NOMINAL_VDD
+    nominal_vmin: float = NOMINAL_VMIN
+    leakage_share: float = LEAKAGE_SHARE
+    guardband_model: GuardbandModel = DEFAULT_GUARDBAND_MODEL
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.nominal_vmin < self.nominal_vdd:
+            raise ValueError("need 0 < nominal_vmin < nominal_vdd")
+        if not 0.0 <= self.leakage_share <= 1.0:
+            raise ValueError("leakage_share must be within [0, 1]")
+
+    # ------------------------------------------------------------------
+    def vmin(self, worst_bias: float) -> float:
+        """Retention voltage after lifetime degradation at ``worst_bias``.
+
+        Vmin rises one-for-one (in fractions of the nominal supply) with
+        the V_TH shift of the most stressed PMOS in the worst cell —
+        Section 1's "10% Vmin increase may be required to tolerate 10%
+        V_TH shifts".
+        """
+        shift = self.guardband_model.vmin_increase_for_bias(worst_bias)
+        return self.nominal_vmin + shift * self.nominal_vdd
+
+    def operating_voltage(self, worst_bias: float,
+                          target_vdd: float) -> float:
+        """Voltage a scaled array actually runs at: Vmin-floored."""
+        if target_vdd <= 0.0:
+            raise ValueError("target_vdd must be positive")
+        return max(target_vdd, self.vmin(worst_bias))
+
+    def relative_power(self, vdd: float) -> float:
+        """Array power at ``vdd`` relative to nominal supply.
+
+        Dynamic follows V²; leakage follows V² as well to first order
+        (DIBL-dominated subthreshold leakage ~ V·e^(ηV) linearised) —
+        kept separate so the shares can be re-weighted.
+        """
+        if vdd <= 0.0:
+            raise ValueError("vdd must be positive")
+        scale = vdd / self.nominal_vdd
+        dynamic = (1.0 - self.leakage_share) * scale ** 2
+        leakage = self.leakage_share * scale ** 2
+        return dynamic + leakage
+
+    # ------------------------------------------------------------------
+    def power_at_scaled_voltage(
+        self, worst_bias: float, target_vdd: float
+    ) -> float:
+        """Power of an array asked to run at ``target_vdd``."""
+        return self.relative_power(
+            self.operating_voltage(worst_bias, target_vdd)
+        )
+
+    def savings_from_balancing(
+        self,
+        baseline_bias: float,
+        protected_bias: float,
+        target_vdd: float,
+    ) -> float:
+        """Relative power saved by balancing the array's bit cells.
+
+        Both arrays are asked to scale to ``target_vdd``; the balanced
+        one has the lower Vmin floor and therefore reaches a lower
+        voltage.  Returns 1 - P_protected / P_baseline (0 when the
+        target is above both floors).
+        """
+        baseline = self.power_at_scaled_voltage(baseline_bias, target_vdd)
+        protected = self.power_at_scaled_voltage(protected_bias,
+                                                 target_vdd)
+        return 1.0 - protected / baseline

@@ -1,0 +1,57 @@
+"""PMOS transistor descriptors for the gate-level aging simulator.
+
+Section 2.1 of the paper notes that NBTI can be mitigated with wider
+transistors at a delay/area/power cost, and the Figure 4 analysis counts
+only the *narrow* transistors with 100% zero-signal probability because
+"wide PMOS with 100% zero-signal probability degrade less than narrow
+PMOS with 50% probability".  The gate library therefore tags every PMOS
+with a :class:`WidthClass`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class WidthClass(enum.Enum):
+    """Sizing class of a PMOS transistor.
+
+    NARROW transistors are minimum-width devices on non-critical inputs;
+    WIDE transistors drive large fan-outs (carry trees, output buffers)
+    and, per ref [19] of the paper, tolerate full bias without failing
+    within the product lifetime.
+    """
+
+    NARROW = "narrow"
+    WIDE = "wide"
+
+
+@dataclass(frozen=True)
+class PMOSTransistor:
+    """One PMOS transistor inside a gate.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier, conventionally ``<gate>.<input pin>``.
+    gate_node:
+        Netlist node whose logic value drives this transistor's gate.
+        The transistor is under NBTI stress whenever that node is "0".
+    width_class:
+        Sizing class; Figure 4's metric counts only NARROW devices.
+    """
+
+    name: str
+    gate_node: str
+    width_class: WidthClass = WidthClass.NARROW
+
+    @property
+    def is_narrow(self) -> bool:
+        return self.width_class is WidthClass.NARROW
+
+    def stressed_by(self, node_value: int) -> bool:
+        """Whether a given logic value at the gate node stresses the PMOS."""
+        if node_value not in (0, 1):
+            raise ValueError(f"node_value must be 0 or 1, got {node_value!r}")
+        return node_value == 0

@@ -1,0 +1,176 @@
+"""Branch predictor: the paper's other cache-like example.
+
+Section 3.2.1 lists branch predictors among the cache-like blocks whose
+entries can be invalidated and inverted.  A bimodal predictor's pattern
+table is an extreme case of biased storage: 2-bit counters saturate
+toward taken/not-taken, so one PMOS per cell degrades continuously.
+
+:class:`BimodalPredictor` models the table with per-cell residency
+accounting, and :class:`ProtectedBimodalPredictor` applies the paper's
+line-granularity inversion: a fraction of the counters holds inverted
+contents and rotates round-robin, halving the effective table (a small
+accuracy cost the study quantifies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.uarch.bitbias import BitBiasAccumulator
+
+#: 2-bit saturating counter states.
+STRONG_NOT_TAKEN, WEAK_NOT_TAKEN, WEAK_TAKEN, STRONG_TAKEN = range(4)
+
+COUNTER_BITS = 2
+
+
+@dataclass
+class PredictorStats:
+    predictions: int = 0
+    hits: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        return self.hits / self.predictions if self.predictions else 0.0
+
+
+class BimodalPredictor:
+    """A classic bimodal (per-PC 2-bit counter) branch predictor."""
+
+    def __init__(self, entries: int = 1024,
+                 initial_state: int = WEAK_NOT_TAKEN) -> None:
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        if not 0 <= initial_state <= STRONG_TAKEN:
+            raise ValueError("invalid counter state")
+        self.entries = entries
+        self._counters = [initial_state] * entries
+        self.bias = BitBiasAccumulator(entries, COUNTER_BITS,
+                                       initial_value=initial_state)
+        self.stats = PredictorStats()
+        self._now = 0.0
+
+    def index_of(self, pc: int) -> int:
+        return (pc >> 2) % self.entries
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for a branch at ``pc``."""
+        return self._counters[self.index_of(pc)] >= WEAK_TAKEN
+
+    def update(self, pc: int, taken: bool, now: Optional[float] = None) -> bool:
+        """Record the outcome; returns whether the prediction was right.
+
+        ``now`` advances the residency clock (defaults to one unit per
+        update).
+        """
+        self._now = now if now is not None else self._now + 1.0
+        index = self.index_of(pc)
+        predicted = self._counters[index] >= WEAK_TAKEN
+        correct = predicted == taken
+        self.stats.predictions += 1
+        self.stats.hits += int(correct)
+        counter = self._counters[index]
+        counter = min(STRONG_TAKEN, counter + 1) if taken else \
+            max(STRONG_NOT_TAKEN, counter - 1)
+        if counter != self._counters[index]:
+            self._counters[index] = counter
+            self.bias.set_value(index, counter, self._now)
+        return correct
+
+    def write_counter(self, index: int, state: int,
+                      now: Optional[float] = None) -> None:
+        """Direct state write (used by the inversion mechanism)."""
+        if not 0 <= state <= STRONG_TAKEN:
+            raise ValueError("invalid counter state")
+        self._now = now if now is not None else self._now + 1.0
+        self._counters[index] = state
+        self.bias.set_value(index, state, self._now)
+
+    def counter(self, index: int) -> int:
+        return self._counters[index]
+
+    def worst_bias(self) -> float:
+        self.bias.finalize(self._now)
+        return self.bias.worst_bias()
+
+
+class ProtectedBimodalPredictor:
+    """Bimodal predictor with a rotating inverted region.
+
+    A contiguous window of ``ratio`` of the table holds inverted repair
+    contents; branches indexing into it fall back to a static
+    backward-taken-style prediction (here: taken), and their updates are
+    dropped.  The window rotates every ``rotation_period`` updates; on
+    rotation, leaving counters are re-initialised and entering counters
+    are overwritten with the inversion of their current state — the
+    invalidate-and-invert step.
+    """
+
+    def __init__(
+        self,
+        predictor: Optional[BimodalPredictor] = None,
+        ratio: float = 0.5,
+        rotation_period: int = 4096,
+    ) -> None:
+        if not 0.0 <= ratio < 1.0:
+            raise ValueError("ratio must be within [0, 1)")
+        if rotation_period <= 0:
+            raise ValueError("rotation_period must be positive")
+        self.predictor = predictor or BimodalPredictor()
+        self.ratio = ratio
+        self.rotation_period = rotation_period
+        self._window = int(self.predictor.entries * ratio)
+        self._first = 0
+        self._updates = 0
+        self._invert_window()
+
+    # ------------------------------------------------------------------
+    def _is_inverted(self, index: int) -> bool:
+        offset = (index - self._first) % self.predictor.entries
+        return offset < self._window
+
+    def predict(self, pc: int) -> bool:
+        index = self.predictor.index_of(pc)
+        if self._is_inverted(index):
+            return True  # static fallback for repair-holding entries
+        return self.predictor.predict(pc)
+
+    def update(self, pc: int, taken: bool) -> bool:
+        self._updates += 1
+        if self._updates % self.rotation_period == 0:
+            self._rotate()
+        index = self.predictor.index_of(pc)
+        if self._is_inverted(index):
+            correct = taken  # static taken fallback
+            self.predictor.stats.predictions += 1
+            self.predictor.stats.hits += int(correct)
+            return correct
+        return self.predictor.update(pc, taken)
+
+    @property
+    def stats(self) -> PredictorStats:
+        return self.predictor.stats
+
+    def worst_bias(self) -> float:
+        return self.predictor.worst_bias()
+
+    # ------------------------------------------------------------------
+    def _invert_window(self) -> None:
+        mask = (1 << COUNTER_BITS) - 1
+        for offset in range(self._window):
+            index = (self._first + offset) % self.predictor.entries
+            inverted = (~self.predictor.counter(index)) & mask
+            self.predictor.write_counter(index, inverted)
+
+    def _rotate(self) -> None:
+        entries = self.predictor.entries
+        mask = (1 << COUNTER_BITS) - 1
+        leaving = self._first
+        entering = (self._first + self._window) % entries
+        # The leaving counter returns to service weakly-not-taken; the
+        # entering counter is invalidated-and-inverted.
+        self.predictor.write_counter(leaving, WEAK_NOT_TAKEN)
+        inverted = (~self.predictor.counter(entering)) & mask
+        self.predictor.write_counter(entering, inverted)
+        self._first = (self._first + 1) % entries

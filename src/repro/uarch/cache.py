@@ -1,0 +1,253 @@
+"""Set-associative cache with the line states the inversion schemes need.
+
+Beyond a plain LRU cache, the model supports the three states Section
+3.2.1 of the paper relies on:
+
+- ``VALID``: a normal line holding workload data,
+- ``INVALID``: an empty line (cold or explicitly invalidated),
+- ``INVERTED``: invalid *and* holding inverted repair contents — the
+  "valid/state bits indicate whether the cache line is valid and
+  non-inverted, or invalid and inverted".
+
+The cache also keeps a per-line *shadow-invert* bit used by the dynamic
+scheme's test periods ("a bit per cache line that indicates whether cache
+lines would have been inverted if the mechanism was activated.  Whenever
+a hit happens in such cache lines, it is counted as an induced extra
+miss"), and a hit-position histogram that backs the paper's MRU claim
+(90% of DL0 hits in the MRU way).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class LineState(enum.Enum):
+    INVALID = "invalid"
+    VALID = "valid"
+    INVERTED = "inverted"  # invalid + inverted repair contents
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of a cache.
+
+    Examples
+    --------
+    >>> CacheConfig(name="DL0-32K-8w", size_bytes=32 * 1024, ways=8).sets
+    64
+    """
+
+    name: str
+    size_bytes: int
+    ways: int
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.ways <= 0 or self.line_bytes <= 0:
+            raise ValueError("cache geometry must be positive")
+        if self.size_bytes % (self.ways * self.line_bytes):
+            raise ValueError(
+                f"{self.name}: size {self.size_bytes} is not divisible by "
+                f"ways*line ({self.ways}*{self.line_bytes})"
+            )
+
+    @property
+    def sets(self) -> int:
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+    @property
+    def lines(self) -> int:
+        return self.sets * self.ways
+
+
+@dataclass
+class CacheStats:
+    """Running counters of one cache instance."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    shadow_hits: int = 0
+    inversions: int = 0
+    refills_of_inverted: int = 0
+    hit_way_position: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def mru_hit_fraction(self, position: int = 0) -> float:
+        """Fraction of hits found at the given LRU-stack position."""
+        if not self.hits:
+            return 0.0
+        return self.hit_way_position.get(position, 0) / self.hits
+
+
+class Cache:
+    """A set-associative, true-LRU cache.
+
+    The cache is a *tag* model: it tracks which line addresses are
+    resident, not the data bytes.  Mechanisms manipulate line states via
+    :meth:`invert_line` / :meth:`invalidate_line`; the replacement victim
+    search prefers INVALID and INVERTED lines over evicting VALID ones.
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        #: When False, replacement never victimises INVERTED lines —
+        #: used by way-granularity inversion, where the inverted ways
+        #: are statically out of service rather than a refillable pool.
+        self.allow_inverted_victims = True
+        sets, ways = config.sets, config.ways
+        self._tags: List[List[Optional[int]]] = [
+            [None] * ways for _ in range(sets)
+        ]
+        self._state: List[List[LineState]] = [
+            [LineState.INVALID] * ways for _ in range(sets)
+        ]
+        #: per-set LRU stack: index 0 = MRU, last = LRU.
+        self._lru: List[List[int]] = [list(range(ways)) for _ in range(sets)]
+        self._shadow: List[List[bool]] = [
+            [False] * ways for _ in range(sets)
+        ]
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # Address mapping
+    # ------------------------------------------------------------------
+    def index_of(self, address: int) -> Tuple[int, int]:
+        """(set index, tag) of a byte address."""
+        line = address // self.config.line_bytes
+        return line % self.config.sets, line // self.config.sets
+
+    # ------------------------------------------------------------------
+    # Access path
+    # ------------------------------------------------------------------
+    def access(self, address: int) -> bool:
+        """Look up an address; fills on miss.  Returns hit/miss."""
+        set_index, tag = self.index_of(address)
+        self.stats.accesses += 1
+        way = self._find(set_index, tag)
+        if way is not None:
+            position = self._lru[set_index].index(way)
+            self.stats.hit_way_position[position] = (
+                self.stats.hit_way_position.get(position, 0) + 1
+            )
+            self.stats.hits += 1
+            if self._shadow[set_index][way]:
+                self.stats.shadow_hits += 1
+            self._touch(set_index, way)
+            return True
+        self.stats.misses += 1
+        self._fill(set_index, tag)
+        return False
+
+    def probe(self, address: int) -> bool:
+        """Non-allocating lookup (no state change, no counters)."""
+        set_index, tag = self.index_of(address)
+        return self._find(set_index, tag) is not None
+
+    def _find(self, set_index: int, tag: int) -> Optional[int]:
+        tags = self._tags[set_index]
+        states = self._state[set_index]
+        for way in range(self.config.ways):
+            if states[way] is LineState.VALID and tags[way] == tag:
+                return way
+        return None
+
+    def _fill(self, set_index: int, tag: int) -> int:
+        way = self.victim_way(set_index)
+        if self._state[set_index][way] is LineState.INVERTED:
+            self.stats.refills_of_inverted += 1
+        self._tags[set_index][way] = tag
+        self._state[set_index][way] = LineState.VALID
+        self._shadow[set_index][way] = False
+        self._touch(set_index, way)
+        return way
+
+    def victim_way(self, set_index: int) -> int:
+        """Replacement victim: prefer INVALID, then INVERTED, then LRU.
+
+        With :attr:`allow_inverted_victims` False, INVERTED lines are
+        skipped and the LRU *valid* line is evicted instead (they are
+        only reclaimed if the whole set is inverted).
+        """
+        states = self._state[set_index]
+        for way in self._lru[set_index][::-1]:
+            if states[way] is LineState.INVALID:
+                return way
+        if self.allow_inverted_victims:
+            for way in self._lru[set_index][::-1]:
+                if states[way] is LineState.INVERTED:
+                    return way
+        for way in self._lru[set_index][::-1]:
+            if states[way] is LineState.VALID:
+                return way
+        return self._lru[set_index][-1]
+
+    def _touch(self, set_index: int, way: int) -> None:
+        stack = self._lru[set_index]
+        stack.remove(way)
+        stack.insert(0, way)
+
+    # ------------------------------------------------------------------
+    # Mechanism interface
+    # ------------------------------------------------------------------
+    def line_state(self, set_index: int, way: int) -> LineState:
+        return self._state[set_index][way]
+
+    def valid_ways(self, set_index: int) -> List[int]:
+        states = self._state[set_index]
+        return [w for w in range(self.config.ways)
+                if states[w] is LineState.VALID]
+
+    def inverted_count(self) -> int:
+        return sum(
+            1
+            for states in self._state
+            for state in states
+            if state is LineState.INVERTED
+        )
+
+    def lru_position(self, set_index: int, position: int) -> int:
+        """Way currently at the given LRU-stack position (0 = MRU)."""
+        return self._lru[set_index][position]
+
+    def invert_line(self, set_index: int, way: int) -> None:
+        """Invalidate a line and fill it with inverted repair contents."""
+        self._state[set_index][way] = LineState.INVERTED
+        self._tags[set_index][way] = None
+        self._shadow[set_index][way] = False
+        self.stats.inversions += 1
+
+    def invalidate_line(self, set_index: int, way: int) -> None:
+        self._state[set_index][way] = LineState.INVALID
+        self._tags[set_index][way] = None
+        self._shadow[set_index][way] = False
+
+    def set_shadow(self, set_index: int, way: int, value: bool) -> None:
+        """Mark/unmark the would-be-inverted test bit of a line."""
+        self._shadow[set_index][way] = value
+
+    def is_shadow(self, set_index: int, way: int) -> bool:
+        return self._shadow[set_index][way]
+
+    def shadow_count(self) -> int:
+        return sum(
+            1 for row in self._shadow for bit in row if bit
+        )
+
+    def clear_shadow(self) -> None:
+        for row in self._shadow:
+            for way in range(len(row)):
+                row[way] = False
+
+    def reset_stats(self) -> None:
+        self.stats = CacheStats()

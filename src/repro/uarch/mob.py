@@ -1,0 +1,48 @@
+"""Memory Order Buffer id allocation.
+
+The scheduler's 6-bit ``MOB id`` field needs no NBTI protection because
+"MOB slots are used evenly" (Section 4.5) — a round-robin allocator
+guarantees that self-balancing, which this model implements and the
+tests verify.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class MemoryOrderBuffer:
+    """Round-robin MOB slot allocator."""
+
+    def __init__(self, entries: int = 64) -> None:
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        self.entries = entries
+        self._next = 0
+        self._outstanding: Dict[int, int] = {}
+        self.allocations = 0
+
+    def allocate(self) -> int:
+        """Next MOB id in round-robin order.
+
+        The structural model does not track completion precisely enough
+        to stall on MOB fullness; round-robin reuse preserves exactly the
+        even-usage property the paper's argument needs.
+        """
+        mob_id = self._next
+        self._next = (self._next + 1) % self.entries
+        self._outstanding[mob_id] = self._outstanding.get(mob_id, 0) + 1
+        self.allocations += 1
+        return mob_id
+
+    def usage_histogram(self) -> Dict[int, int]:
+        """Allocation count per MOB id (flat for round-robin)."""
+        return dict(self._outstanding)
+
+    def usage_imbalance(self) -> float:
+        """Max/mean allocation ratio (1.0 = perfectly even)."""
+        if not self._outstanding:
+            return 1.0
+        counts = list(self._outstanding.values())
+        mean = sum(counts) / len(counts)
+        return max(counts) / mean if mean else 1.0

@@ -1,0 +1,89 @@
+"""Trace containers.
+
+The paper's workload is 531 traces of 10M consecutive IA32 instructions
+each (Table 1).  A :class:`Trace` here is a named, suite-tagged sequence
+of :class:`~repro.uarch.uop.Uop` records; the synthetic generators in
+:mod:`repro.workloads` produce them at a scaled-down length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.uarch.uop import Uop, UopClass
+
+
+@dataclass
+class Trace:
+    """A named sequence of uops from one benchmark."""
+
+    name: str
+    suite: str
+    uops: List[Uop] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.uops)
+
+    def __iter__(self) -> Iterator[Uop]:
+        return iter(self.uops)
+
+    def __getitem__(self, index):
+        return self.uops[index]
+
+    def append(self, uop: Uop) -> None:
+        self.uops.append(uop)
+
+    def sample(self, stride: int) -> "Trace":
+        """Every ``stride``-th uop, for cheap profiling passes."""
+        if stride <= 0:
+            raise ValueError("stride must be positive")
+        return Trace(
+            name=f"{self.name}@{stride}",
+            suite=self.suite,
+            uops=self.uops[::stride],
+        )
+
+    def stats(self) -> "TraceStats":
+        return TraceStats.from_trace(self)
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Aggregate composition statistics of a trace."""
+
+    length: int
+    class_counts: Dict[str, int]
+
+    @classmethod
+    def from_trace(cls, trace: Trace) -> "TraceStats":
+        counts: Dict[str, int] = {kind.value: 0 for kind in UopClass}
+        for uop in trace:
+            counts[uop.uop_class.value] += 1
+        return cls(length=len(trace), class_counts=counts)
+
+    def fraction(self, kind: UopClass) -> float:
+        if self.length == 0:
+            return 0.0
+        return self.class_counts[kind.value] / self.length
+
+    @property
+    def memory_fraction(self) -> float:
+        return self.fraction(UopClass.LOAD) + self.fraction(UopClass.STORE)
+
+
+def concatenate(traces: Sequence[Trace], name: Optional[str] = None) -> Trace:
+    """Concatenate traces, renumbering uop sequence ids."""
+    if not traces:
+        raise ValueError("need at least one trace")
+    merged = Trace(
+        name=name or "+".join(t.name for t in traces[:3]),
+        suite=traces[0].suite,
+    )
+    seq = 0
+    for trace in traces:
+        for uop in trace:
+            clone = Uop(**{**uop.__dict__, "seq": seq})
+            merged.append(clone)
+            seq += 1
+    return merged

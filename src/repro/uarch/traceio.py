@@ -1,0 +1,83 @@
+"""Trace serialization.
+
+Traces are expensive to generate at scale and studies want to replay the
+*same* trace across configurations; this module persists them as
+newline-delimited JSON records (self-describing and diffable) with an
+optional gzip layer.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+from typing import IO, Iterator
+
+from repro.uarch.trace import Trace
+from repro.uarch.uop import Uop, UopClass
+
+FORMAT_VERSION = 1
+
+#: Uop attributes persisted verbatim.
+_FIELDS = (
+    "seq", "opcode", "src1", "src2", "dst", "src1_value", "src2_value",
+    "result_value", "immediate", "has_immediate", "is_fp", "latency",
+    "port", "taken", "mispredicted", "tos", "flags", "shift1", "shift2",
+    "address", "carry_in", "is_sub",
+)
+
+
+def _open(path: str, mode: str) -> IO:
+    if path.endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def save_trace(trace: Trace, path: str) -> None:
+    """Write a trace as JSONL (gzipped when the path ends in .gz)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with _open(path, "w") as handle:
+        header = {
+            "format": FORMAT_VERSION,
+            "name": trace.name,
+            "suite": trace.suite,
+            "length": len(trace),
+        }
+        handle.write(json.dumps(header) + "\n")
+        for uop in trace:
+            record = {name: getattr(uop, name) for name in _FIELDS}
+            record["uop_class"] = uop.uop_class.value
+            handle.write(json.dumps(record) + "\n")
+
+
+def load_trace(path: str) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    with _open(path, "r") as handle:
+        header_line = handle.readline()
+        if not header_line:
+            raise ValueError(f"{path}: empty trace file")
+        header = json.loads(header_line)
+        if header.get("format") != FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported trace format {header.get('format')!r}"
+            )
+        trace = Trace(name=header["name"], suite=header["suite"])
+        for line in handle:
+            record = json.loads(line)
+            kind = UopClass(record.pop("uop_class"))
+            trace.append(Uop(uop_class=kind, **record))
+    if len(trace) != header["length"]:
+        raise ValueError(
+            f"{path}: header declares {header['length']} uops, "
+            f"found {len(trace)}"
+        )
+    return trace
+
+
+def iter_trace_records(path: str) -> Iterator[dict]:
+    """Stream raw records without materialising Uop objects."""
+    with _open(path, "r") as handle:
+        handle.readline()  # header
+        for line in handle:
+            yield json.loads(line)

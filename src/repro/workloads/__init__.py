@@ -1,0 +1,47 @@
+"""Synthetic workload generation.
+
+The paper drove its simulator with 531 proprietary traces of 10M IA32
+instructions from ten benchmark suites (Table 1).  This subpackage
+replaces them with seeded synthetic generators whose *statistical
+fingerprints* — operand value bias, uop mix, working-set size, branch
+behaviour — are calibrated so the baseline measurements land where the
+paper reports them (Section 1.1, Figures 6 and 8).  See DESIGN.md for
+the substitution argument.
+
+- :mod:`repro.workloads.datagen` — biased operand/address generators,
+  including the x87 80-bit encoding for FP register data.
+- :mod:`repro.workloads.suites` — the ten Table 1 suite profiles.
+- :mod:`repro.workloads.generator` — :class:`TraceGenerator`.
+"""
+
+from repro.workloads.datagen import (
+    BiasedIntGenerator,
+    FPValueGenerator,
+    AddressGenerator,
+    encode_x87,
+)
+from repro.workloads.suites import (
+    SuiteProfile,
+    SUITE_PROFILES,
+    TABLE1_TRACE_COUNTS,
+    suite_names,
+)
+from repro.workloads.generator import (
+    TraceGenerator,
+    generate_workload,
+    generate_address_stream,
+)
+
+__all__ = [
+    "BiasedIntGenerator",
+    "FPValueGenerator",
+    "AddressGenerator",
+    "encode_x87",
+    "SuiteProfile",
+    "SUITE_PROFILES",
+    "TABLE1_TRACE_COUNTS",
+    "suite_names",
+    "TraceGenerator",
+    "generate_workload",
+    "generate_address_stream",
+]

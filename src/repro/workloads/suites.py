@@ -1,0 +1,206 @@
+"""The ten benchmark-suite profiles of Table 1.
+
+Each :class:`SuiteProfile` captures the knobs that differentiate the
+paper's suites for the structures under study: uop mix (how many adder
+ops, loads, FP ops), operand-value style, working-set size (the Table 3
+lever), branch behaviour and dependency locality.
+
+The trace counts mirror Table 1 of the paper (531 in total); the default
+study scale uses a proportional subsample, see
+:func:`repro.workloads.generator.generate_workload`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: Table 1 of the paper: suite -> number of traces.
+TABLE1_TRACE_COUNTS: Dict[str, int] = {
+    "encoder": 62,
+    "specfp2000": 41,
+    "specint2000": 33,
+    "kernels": 53,
+    "multimedia": 85,
+    "office": 75,
+    "productivity": 45,
+    "server": 55,
+    "workstation": 49,
+    "spec2006": 33,
+}
+
+
+@dataclass(frozen=True)
+class SuiteProfile:
+    """Statistical fingerprint of one benchmark suite."""
+
+    name: str
+    description: str
+    #: Fractions of (alu, mul, fp, load, store, branch, nop); must sum ~1.
+    uop_mix: Tuple[float, float, float, float, float, float, float]
+    #: Fraction of ALU adds that are subtract-style (carry-in = 1).
+    sub_fraction: float = 0.08
+    #: Bytes of hot data (drives DL0/DTLB pressure).
+    working_set_bytes: int = 16 * 1024
+    #: Fraction of accesses hitting the hot working set.
+    hot_fraction: float = 0.92
+    #: Number of hot regions.
+    regions: int = 4
+    #: Branch taken rate.
+    taken_rate: float = 0.6
+    #: Fraction of branches the frontend mispredicts (drives pipeline
+    #: drains, and with them realistic scheduler occupancy).
+    mispredict_rate: float = 0.08
+    #: Fraction of uops carrying an immediate.
+    immediate_fraction: float = 0.35
+    #: Fraction of uops with AH/BH/CH/DH sub-register shifts.
+    shift_fraction: float = 0.03
+    #: Dependency locality: probability a source is one of the last K dsts.
+    dependency_locality: float = 0.65
+    #: Integer value mixture overrides (weights for BiasedIntGenerator).
+    int_value_weights: Tuple[float, float, float, float, float] = (
+        0.35, 0.25, 0.15, 0.15, 0.10
+    )
+
+    def __post_init__(self) -> None:
+        total = sum(self.uop_mix)
+        if not 0.99 <= total <= 1.01:
+            raise ValueError(
+                f"suite {self.name!r}: uop mix sums to {total:.3f}, not 1"
+            )
+        if not 0.0 <= self.sub_fraction <= 1.0:
+            raise ValueError("sub_fraction must be within [0, 1]")
+
+    @property
+    def classes(self) -> Tuple[str, ...]:
+        return ("alu", "mul", "fp", "load", "store", "branch", "nop")
+
+    def mix_dict(self) -> Dict[str, float]:
+        return dict(zip(self.classes, self.uop_mix))
+
+
+#                      alu   mul   fp    load  store branch nop
+SUITE_PROFILES: Dict[str, SuiteProfile] = {
+    "encoder": SuiteProfile(
+        name="encoder",
+        description="Audio/video encoding",
+        uop_mix=(0.34, 0.05, 0.08, 0.24, 0.12, 0.12, 0.05),
+        working_set_bytes=8 * 1024,
+        hot_fraction=0.98,
+        regions=6,
+        taken_rate=0.55,
+        sub_fraction=0.10,
+        mispredict_rate=0.06,
+    ),
+    "specfp2000": SuiteProfile(
+        name="specfp2000",
+        description="Floating-point SPEC CPU2000",
+        uop_mix=(0.22, 0.03, 0.26, 0.26, 0.08, 0.10, 0.05),
+        working_set_bytes=12 * 1024,
+        hot_fraction=0.97,
+        regions=8,
+        taken_rate=0.70,
+        sub_fraction=0.05,
+        mispredict_rate=0.04,
+    ),
+    "specint2000": SuiteProfile(
+        name="specint2000",
+        description="Integer SPEC CPU2000",
+        uop_mix=(0.38, 0.04, 0.01, 0.24, 0.10, 0.18, 0.05),
+        working_set_bytes=6 * 1024,
+        hot_fraction=0.98,
+        regions=5,
+        taken_rate=0.62,
+        sub_fraction=0.12,
+        mispredict_rate=0.09,
+    ),
+    "kernels": SuiteProfile(
+        name="kernels",
+        description="VectorAdd, FIR filters",
+        uop_mix=(0.36, 0.02, 0.12, 0.26, 0.14, 0.06, 0.04),
+        working_set_bytes=2 * 1024,
+        hot_fraction=0.995,
+        regions=2,
+        taken_rate=0.85,
+        sub_fraction=0.04,
+        dependency_locality=0.5,
+        mispredict_rate=0.02,
+    ),
+    "multimedia": SuiteProfile(
+        name="multimedia",
+        description="WMedia, Photoshop",
+        uop_mix=(0.33, 0.05, 0.10, 0.24, 0.11, 0.12, 0.05),
+        working_set_bytes=8 * 1024,
+        hot_fraction=0.98,
+        regions=6,
+        taken_rate=0.58,
+        mispredict_rate=0.07,
+    ),
+    "office": SuiteProfile(
+        name="office",
+        description="Excel, Word, Powerpoint",
+        uop_mix=(0.36, 0.03, 0.02, 0.25, 0.11, 0.17, 0.06),
+        working_set_bytes=4 * 1024,
+        hot_fraction=0.99,
+        regions=4,
+        taken_rate=0.60,
+        sub_fraction=0.10,
+        mispredict_rate=0.10,
+    ),
+    "productivity": SuiteProfile(
+        name="productivity",
+        description="Internet contents creation",
+        uop_mix=(0.35, 0.03, 0.03, 0.25, 0.11, 0.17, 0.06),
+        working_set_bytes=6 * 1024,
+        hot_fraction=0.98,
+        regions=4,
+        taken_rate=0.60,
+        mispredict_rate=0.09,
+    ),
+    "server": SuiteProfile(
+        name="server",
+        description="TPC-C",
+        uop_mix=(0.32, 0.03, 0.01, 0.28, 0.13, 0.17, 0.06),
+        working_set_bytes=24 * 1024,
+        hot_fraction=0.95,
+        regions=12,
+        taken_rate=0.58,
+        sub_fraction=0.10,
+        mispredict_rate=0.12,
+    ),
+    "workstation": SuiteProfile(
+        name="workstation",
+        description="CAD, rendering",
+        uop_mix=(0.28, 0.04, 0.16, 0.26, 0.10, 0.11, 0.05),
+        working_set_bytes=10 * 1024,
+        hot_fraction=0.97,
+        regions=8,
+        taken_rate=0.65,
+        mispredict_rate=0.06,
+    ),
+    "spec2006": SuiteProfile(
+        name="spec2006",
+        description="SPEC CPU2006",
+        uop_mix=(0.34, 0.04, 0.08, 0.26, 0.10, 0.13, 0.05),
+        working_set_bytes=16 * 1024,
+        hot_fraction=0.96,
+        regions=10,
+        taken_rate=0.63,
+        sub_fraction=0.09,
+        mispredict_rate=0.08,
+    ),
+}
+
+
+def suite_names() -> List[str]:
+    """Suite names in Table 1 order."""
+    return list(TABLE1_TRACE_COUNTS)
+
+
+def get_profile(name: str) -> SuiteProfile:
+    try:
+        return SUITE_PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown suite {name!r}; available: {', '.join(suite_names())}"
+        ) from None

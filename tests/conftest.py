@@ -1,0 +1,36 @@
+"""Shared fixtures.
+
+Expensive artefacts (adder netlists, reference traces) are session-scoped
+so the suite stays fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import build_ladner_fischer_adder
+from repro.workloads import TraceGenerator
+
+
+@pytest.fixture(scope="session")
+def adder8():
+    """A small 8-bit Ladner-Fischer adder for functional tests."""
+    return build_ladner_fischer_adder(width=8)
+
+
+@pytest.fixture(scope="session")
+def adder32():
+    """The paper's 32-bit adder (built once per session)."""
+    return build_ladner_fischer_adder(width=32)
+
+
+@pytest.fixture(scope="session")
+def small_trace():
+    """A short deterministic specint trace."""
+    return TraceGenerator(seed=11).generate("specint2000", length=1500)
+
+
+@pytest.fixture(scope="session")
+def fp_trace():
+    """A short deterministic FP-heavy trace."""
+    return TraceGenerator(seed=11).generate("specfp2000", length=1500)

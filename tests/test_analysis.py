@@ -1,0 +1,85 @@
+"""Tests for aggregation helpers and report formatting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    bias_band,
+    format_histogram,
+    format_series,
+    format_table,
+    merge_bias_arrays,
+    worst_imbalance,
+)
+
+
+class TestMergeBias:
+    def test_uniform_weights(self):
+        merged = merge_bias_arrays([np.array([0.2]), np.array([0.8])])
+        assert merged[0] == pytest.approx(0.5)
+
+    def test_explicit_weights(self):
+        merged = merge_bias_arrays(
+            [np.array([0.0]), np.array([1.0])], weights=[1.0, 3.0]
+        )
+        assert merged[0] == pytest.approx(0.75)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            merge_bias_arrays([])
+        with pytest.raises(ValueError):
+            merge_bias_arrays([np.zeros(2), np.zeros(3)])
+        with pytest.raises(ValueError):
+            merge_bias_arrays([np.zeros(2)], weights=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            merge_bias_arrays([np.zeros(2)], weights=[0.0])
+
+
+class TestBiasSummaries:
+    def test_worst_imbalance_finds_extreme(self):
+        bias = np.array([0.5, 0.9, 0.4])
+        index, value = worst_imbalance(bias)
+        assert index == 1
+        assert value == pytest.approx(0.9)
+
+    def test_worst_imbalance_symmetric(self):
+        bias = np.array([0.5, 0.05])
+        index, __ = worst_imbalance(bias)
+        assert index == 1
+
+    def test_bias_band(self):
+        low, high = bias_band(np.array([0.65, 0.7, 0.9]))
+        assert (low, high) == (pytest.approx(0.65), pytest.approx(0.9))
+
+
+class TestFormatters:
+    def test_table_alignment(self):
+        text = format_table(["name", "value"],
+                            [["a", 1], ["long-name", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert len(lines) == 5
+
+    def test_table_row_width_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_series_renders_bars(self):
+        text = format_series({"x": 0.5, "y": 0.25}, title="S")
+        assert "50.00%" in text
+        assert "#" in text
+
+    def test_series_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_series({})
+
+    def test_histogram(self):
+        text = format_histogram([0.1, 0.2, 0.2, 0.9], bins=4)
+        assert text.count("\n") == 3
+
+    def test_histogram_validation(self):
+        with pytest.raises(ValueError):
+            format_histogram([])
+        with pytest.raises(ValueError):
+            format_histogram([1.0], bins=0)

@@ -1,0 +1,79 @@
+"""Tests for the latch bank and the Section 3.3 strategy."""
+
+import pytest
+
+from repro.circuits.latches import LatchBank, study_latch_bank
+
+
+class TestLatchBank:
+    def test_capture_and_bias(self):
+        bank = LatchBank(["a", "b"])
+        bank.capture({"a": 0, "b": 1}, 3.0)
+        bank.capture({"a": 1, "b": 1}, 1.0)
+        assert bank.bias_to_zero("a") == pytest.approx(0.75)
+        assert bank.bias_to_zero("b") == pytest.approx(0.0)
+
+    def test_worst_duty_covers_both_pmos(self):
+        bank = LatchBank(["a"])
+        bank.capture({"a": 1}, 9.0)
+        bank.capture({"a": 0}, 1.0)
+        # Holding "1" stresses the complementary device.
+        assert bank.worst_duty() == pytest.approx(0.9)
+
+    def test_worst_pin(self):
+        bank = LatchBank(["balanced", "stuck"])
+        bank.capture({"balanced": 0, "stuck": 0}, 1.0)
+        bank.capture({"balanced": 1, "stuck": 0}, 1.0)
+        pin, duty = bank.worst_pin()
+        assert pin == "stuck"
+        assert duty == pytest.approx(1.0)
+
+    def test_guardband_of_balanced_bank_is_floor(self):
+        bank = LatchBank(["a"])
+        bank.capture({"a": 0}, 1.0)
+        bank.capture({"a": 1}, 1.0)
+        assert bank.guardband() == pytest.approx(0.02)
+
+    def test_missing_pin_rejected(self):
+        bank = LatchBank(["a", "b"])
+        with pytest.raises(ValueError):
+            bank.capture({"a": 0}, 1.0)
+
+    def test_unknown_pin_rejected(self):
+        bank = LatchBank(["a"])
+        with pytest.raises(KeyError):
+            bank.bias_to_zero("z")
+
+    def test_empty_bank_rejected(self):
+        with pytest.raises(ValueError):
+            LatchBank([])
+
+
+class TestSection33Claim:
+    def test_idle_pair_balances_adder_latches(self, adder32):
+        """Alternating <0,0,0>/<1,1,1> balances the input latches.
+
+        Section 4.3: "by alternating the selected pair of inputs during
+        idle periods, latches hold similar amounts of time opposite
+        values".
+        """
+        pins = list(adder32.circuit.inputs)
+        ones = (1 << 32) - 1
+        schedule = [
+            (adder32.input_vector(0, 0, 0), 1.0),
+            (adder32.input_vector(ones, ones, 1), 1.0),
+        ]
+        study = study_latch_bank(pins, schedule)
+        assert study.worst_duty == pytest.approx(0.5)
+        assert study.guardband == pytest.approx(0.02)
+        assert study.mean_imbalance == pytest.approx(0.0)
+
+    def test_biased_real_inputs_stress_latches(self, adder32):
+        pins = list(adder32.circuit.inputs)
+        schedule = [
+            (adder32.input_vector(0, 0, 0), 9.0),
+            (adder32.input_vector(1, 1, 0), 1.0),
+        ]
+        study = study_latch_bank(pins, schedule)
+        assert study.worst_duty == pytest.approx(1.0)
+        assert study.guardband == pytest.approx(0.20)

@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in ("physics", "adder", "regfile", "caches",
+                        "penelope"):
+            args = parser.parse_args(
+                [command] if command in ("physics",)
+                else [command, "--length", "100"]
+                if command != "adder" else [command]
+            )
+            assert callable(args.func)
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_suite(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["regfile", "--suites", "bogus"])
+
+
+class TestCommands:
+    def test_physics(self, capsys):
+        assert main(["physics", "--duty", "0.6", "--cycles", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "steady state" in out
+
+    def test_adder_small_width(self, capsys):
+        assert main(["adder", "--width", "8",
+                     "--utilization", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "best idle pair" in out
+        assert "(1, 8)" in out
+
+    def test_regfile(self, capsys):
+        assert main(["regfile", "--suites", "kernels",
+                     "--length", "800"]) == 0
+        out = capsys.readouterr().out
+        assert "worst bias" in out
+
+    def test_caches(self, capsys):
+        assert main(["caches", "--suites", "office",
+                     "--length", "800"]) == 0
+        out = capsys.readouterr().out
+        assert "LineDynamic60%" in out
+
+    def test_penelope(self, capsys):
+        assert main(["penelope", "--suites", "kernels",
+                     "--length", "800"]) == 0
+        out = capsys.readouterr().out
+        assert "penelope processor" in out

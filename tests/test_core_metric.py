@@ -1,0 +1,127 @@
+"""Tests for the NBTIefficiency metric — every number the paper quotes."""
+
+import pytest
+
+from repro.core.metric import (
+    BASELINE_GUARDBAND,
+    BlockCost,
+    INVERT_MODE_DELAY,
+    ProcessorCost,
+    baseline_block_cost,
+    invert_periodically_cost,
+    nbti_efficiency,
+)
+
+
+class TestPaperWorkedExamples:
+    """Section 4.2-4.7: the seven worked NBTIefficiency values."""
+
+    def test_baseline_173(self):
+        assert nbti_efficiency(1.0, 0.20, 1.0) == pytest.approx(1.73, abs=0.005)
+
+    def test_invert_periodically_141(self):
+        assert nbti_efficiency(1.10, 0.02, 1.0) == pytest.approx(1.41, abs=0.005)
+
+    def test_adder_124(self):
+        assert nbti_efficiency(1.0, 0.074, 1.0) == pytest.approx(1.24, abs=0.005)
+
+    def test_register_file_112(self):
+        assert nbti_efficiency(1.0, 0.036, 1.01) == pytest.approx(1.12, abs=0.005)
+
+    def test_scheduler_124(self):
+        assert nbti_efficiency(1.0, 0.067, 1.02) == pytest.approx(1.24, abs=0.005)
+
+    def test_dl0_linefixed_109(self):
+        assert nbti_efficiency(1.0053, 0.02, 1.01) == pytest.approx(1.09, abs=0.005)
+
+    def test_penelope_processor_128(self):
+        assert nbti_efficiency(1.007, 0.074, 1.01) == pytest.approx(1.28, abs=0.005)
+
+
+class TestNbtiEfficiency:
+    def test_lower_guardband_is_better(self):
+        assert nbti_efficiency(1.0, 0.02, 1.0) < nbti_efficiency(1.0, 0.2, 1.0)
+
+    def test_delay_cubed(self):
+        # Doubling delay should multiply efficiency by 8.
+        ratio = nbti_efficiency(2.0, 0.0, 1.0) / nbti_efficiency(1.0, 0.0, 1.0)
+        assert ratio == pytest.approx(8.0)
+
+    def test_tdp_linear(self):
+        ratio = nbti_efficiency(1.0, 0.0, 2.0) / nbti_efficiency(1.0, 0.0, 1.0)
+        assert ratio == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            nbti_efficiency(0.0, 0.1, 1.0)
+        with pytest.raises(ValueError):
+            nbti_efficiency(1.0, -0.1, 1.0)
+        with pytest.raises(ValueError):
+            nbti_efficiency(1.0, 0.1, 0.0)
+
+
+class TestBlockCost:
+    def test_efficiency_property(self):
+        block = BlockCost("x", delay=1.0, guardband=0.074, tdp=1.0)
+        assert block.efficiency == pytest.approx(1.24, abs=0.005)
+
+    def test_helpers(self):
+        assert baseline_block_cost().guardband == BASELINE_GUARDBAND
+        inverted = invert_periodically_cost()
+        assert inverted.delay == INVERT_MODE_DELAY
+        assert inverted.efficiency == pytest.approx(1.41, abs=0.005)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockCost("x", delay=0.0)
+        with pytest.raises(ValueError):
+            BlockCost("x", guardband=-0.1)
+
+
+class TestProcessorCost:
+    def _paper_blocks(self):
+        """The five Section 4.7 blocks with their published numbers."""
+        return [
+            BlockCost("adder", guardband=0.074, tdp=1.0),
+            BlockCost("int_rf", guardband=0.036, tdp=1.01),
+            BlockCost("fp_rf", guardband=0.036, tdp=1.01),
+            BlockCost("scheduler", guardband=0.067, tdp=1.02),
+            BlockCost("dl0+dtlb", guardband=0.02, tdp=1.01),
+        ]
+
+    def test_section_47_combination(self):
+        processor = ProcessorCost(blocks=self._paper_blocks(),
+                                  combined_cpi=1.007)
+        # Eq (2): no cycle-time impact, so delay = CPI.
+        assert processor.delay == pytest.approx(1.007)
+        # Eq (3): equal-weight TDP accumulation = 1.01.
+        assert processor.tdp == pytest.approx(1.01)
+        # Eq (4): the adder's guardband dominates.
+        assert processor.guardband == pytest.approx(0.074)
+        # The headline number.
+        assert processor.efficiency == pytest.approx(1.28, abs=0.005)
+
+    def test_beats_baseline_and_inverting(self):
+        penelope = ProcessorCost(blocks=self._paper_blocks(),
+                                 combined_cpi=1.007)
+        baseline = ProcessorCost(
+            blocks=[baseline_block_cost(b.name) for b in self._paper_blocks()]
+        )
+        assert penelope.efficiency < 1.41 < baseline.efficiency
+
+    def test_worst_cycle_time_dominates_delay(self):
+        blocks = [BlockCost("a", delay=1.0), BlockCost("b", delay=1.1)]
+        assert ProcessorCost(blocks=blocks).delay == pytest.approx(1.1)
+
+    def test_tdp_weighting(self):
+        blocks = [
+            BlockCost("a", tdp=1.0, tdp_weight=3.0),
+            BlockCost("b", tdp=2.0, tdp_weight=1.0),
+        ]
+        assert ProcessorCost(blocks=blocks).tdp == pytest.approx(1.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProcessorCost(blocks=[])
+        with pytest.raises(ValueError):
+            ProcessorCost(blocks=[BlockCost("a")], combined_cpi=0.0)

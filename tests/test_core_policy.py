@@ -1,0 +1,120 @@
+"""Tests for the Figure 3 casuistic."""
+
+import pytest
+
+from repro.core.policy import (
+    BitDirective,
+    Technique,
+    choose_technique,
+    ideal_k,
+    repair_bit,
+)
+
+
+class TestIdealK:
+    def test_paper_example(self):
+        # Section 3.2 situation II: busy 75% of the time, "0" 67% of the
+        # time overall means zero-time 0.5 -> storing "1" during all idle
+        # time gives perfect balance (K = 1).
+        # busy bias: 0.5 / 0.75 = 2/3.
+        assert ideal_k(0.75, 2 / 3) == pytest.approx(1.0)
+
+    def test_balanced_busy_needs_half(self):
+        # Unbiased busy data: write "1" half the idle time.
+        assert ideal_k(0.5, 0.5) == pytest.approx(0.5)
+
+    def test_zero_occupancy(self):
+        # All idle: hold "1" half the time.
+        assert ideal_k(0.0, 0.5) == pytest.approx(0.5)
+
+    def test_clamped_to_unit_interval(self):
+        assert ideal_k(0.9, 1.0) == 1.0
+        assert ideal_k(0.1, 0.0) <= 1.0
+        assert ideal_k(0.0, 0.0) >= 0.0
+
+    def test_full_occupancy(self):
+        assert ideal_k(1.0, 0.9) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ideal_k(1.5, 0.5)
+        with pytest.raises(ValueError):
+            ideal_k(0.5, -0.1)
+
+
+class TestChooseTechnique:
+    def test_isv_when_mostly_free(self):
+        # Register files: free > 50% -> ISV (Section 4.4).
+        directive = choose_technique(occupancy=0.46, busy_bias_to_zero=0.9)
+        assert directive.technique is Technique.ISV
+
+    def test_all1_when_unremovable_zero_bias(self):
+        # occupancy * bias0 > 50%: scheduler flags at 63% occupancy and
+        # ~100% zero bias.
+        directive = choose_technique(occupancy=0.63, busy_bias_to_zero=0.99)
+        assert directive.technique is Technique.ALL1
+        assert directive.k == 1.0
+
+    def test_all0_when_unremovable_one_bias(self):
+        directive = choose_technique(occupancy=0.63, busy_bias_to_zero=0.01)
+        assert directive.technique is Technique.ALL0
+
+    def test_all1_k_for_moderate_zero_bias(self):
+        directive = choose_technique(occupancy=0.63, busy_bias_to_zero=0.7)
+        assert directive.technique is Technique.ALL1_K
+        assert directive.k == pytest.approx(
+            ideal_k(0.63, 0.7)
+        )
+
+    def test_all0_k_for_moderate_one_bias(self):
+        directive = choose_technique(occupancy=0.63, busy_bias_to_zero=0.3)
+        assert directive.technique is Technique.ALL0_K
+
+    def test_self_balanced_short_circuit(self):
+        directive = choose_technique(0.63, 0.9, self_balanced=True)
+        assert directive.technique is Technique.SELF_BALANCED
+
+    def test_unprotectable_short_circuit(self):
+        directive = choose_technique(0.63, 0.9, protectable=False)
+        assert directive.technique is Technique.UNPROTECTED
+
+    def test_balanced_busy_data_needs_nothing(self):
+        directive = choose_technique(occupancy=0.63, busy_bias_to_zero=0.5)
+        assert directive.technique is Technique.SELF_BALANCED
+
+
+class TestRepairBit:
+    def test_constants(self):
+        assert repair_bit(BitDirective(Technique.ALL1), 0.0) == 1
+        assert repair_bit(BitDirective(Technique.ALL0), 0.0) == 0
+
+    def test_k_duty_cycling(self):
+        directive = BitDirective(Technique.ALL1_K, k=0.6)
+        assert repair_bit(directive, 0.5) == 1
+        assert repair_bit(directive, 0.7) == 0
+        dual = BitDirective(Technique.ALL0_K, k=0.6)
+        assert repair_bit(dual, 0.5) == 0
+        assert repair_bit(dual, 0.7) == 1
+
+    def test_k_average_matches_duty(self):
+        directive = BitDirective(Technique.ALL1_K, k=0.75)
+        values = [repair_bit(directive, p / 100) for p in range(100)]
+        assert sum(values) == 75
+
+    def test_isv_inverts_sample(self):
+        directive = BitDirective(Technique.ISV)
+        assert repair_bit(directive, 0.0, sampled_bit=0) == 1
+        assert repair_bit(directive, 0.0, sampled_bit=1) == 0
+        assert repair_bit(directive, 0.0, sampled_bit=None) is None
+
+    def test_untouched_techniques(self):
+        assert repair_bit(BitDirective(Technique.SELF_BALANCED), 0.0) is None
+        assert repair_bit(BitDirective(Technique.UNPROTECTED), 0.0) is None
+
+    def test_phase_validation(self):
+        with pytest.raises(ValueError):
+            repair_bit(BitDirective(Technique.ALL1), 1.0)
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            BitDirective(Technique.ALL1_K, k=1.5)

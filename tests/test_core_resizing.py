@@ -1,0 +1,96 @@
+"""Tests for the transistor-resizing fallback."""
+
+import pytest
+
+from repro.circuits import AgingSimulator, build_ladner_fischer_adder
+from repro.core.resizing import (
+    WIDE_AREA_FACTOR,
+    apply_resizing,
+    plan_resizing,
+    resizing_tradeoff,
+)
+
+
+@pytest.fixture()
+def aged_adder():
+    """A small adder aged under a badly-biased input pair."""
+    adder = build_ladner_fischer_adder(width=8)
+    sim = AgingSimulator(adder.circuit)
+    sim.apply(adder.input_vector(0, 0, 0), 1.0)
+    sim.apply(adder.input_vector(0, 0, 1), 1.0)  # pair 1+2: bad
+    return adder, sim
+
+
+class TestPlanResizing:
+    def test_identifies_fully_stressed_narrow(self, aged_adder):
+        __, sim = aged_adder
+        plan = plan_resizing(sim, duty_threshold=0.9)
+        assert plan.count > 0
+        assert plan.residual_worst_duty <= 0.9
+        assert plan.guardband < 0.20
+
+    def test_area_overhead_scales_with_victims(self, aged_adder):
+        __, sim = aged_adder
+        strict = plan_resizing(sim, duty_threshold=0.6)
+        lax = plan_resizing(sim, duty_threshold=0.95)
+        assert strict.count >= lax.count
+        assert strict.area_overhead >= lax.area_overhead
+        total = len(sim.circuit.pmos_transistors())
+        expected = strict.count * (WIDE_AREA_FACTOR - 1.0) / total
+        assert strict.area_overhead == pytest.approx(expected)
+
+    def test_block_cost_pricing(self, aged_adder):
+        __, sim = aged_adder
+        plan = plan_resizing(sim, duty_threshold=0.8)
+        cost = plan.block_cost("adder")
+        assert cost.tdp == pytest.approx(1.0 + plan.area_overhead)
+        assert cost.guardband == plan.guardband
+
+    def test_threshold_validation(self, aged_adder):
+        __, sim = aged_adder
+        with pytest.raises(ValueError):
+            plan_resizing(sim, duty_threshold=0.3)
+
+    def test_no_narrow_rejected(self):
+        from repro.circuits.netlist import CircuitBuilder
+        from repro.nbti.transistor import WidthClass
+
+        builder = CircuitBuilder()
+        a = builder.input("a")
+        builder.mark_output(builder.inv(a, name="y"))
+        circuit = builder.circuit
+        circuit.resize_gates([g.name for g in circuit.gates],
+                             WidthClass.WIDE)
+        sim = AgingSimulator(circuit)
+        with pytest.raises(ValueError):
+            plan_resizing(sim)
+
+
+class TestApplyResizing:
+    def test_netlist_updated(self, aged_adder):
+        adder, sim = aged_adder
+        before = adder.narrow_pmos_count
+        plan = plan_resizing(sim, duty_threshold=0.9)
+        changed = apply_resizing(sim, plan)
+        assert changed > 0
+        assert adder.narrow_pmos_count < before
+        # After resizing, the planned victims are no longer narrow.
+        remaining = {p.name for p in adder.circuit.narrow_pmos()}
+        assert not remaining & set(plan.resized)
+
+    def test_functionality_preserved(self, aged_adder):
+        adder, sim = aged_adder
+        plan = plan_resizing(sim, duty_threshold=0.8)
+        apply_resizing(sim, plan)
+        assert adder.add(200, 55, 1) == (0, 1)
+        assert adder.add(17, 5, 0) == (22, 0)
+
+
+class TestTradeoff:
+    def test_monotone_guardband_vs_area(self, aged_adder):
+        __, sim = aged_adder
+        plans = resizing_tradeoff(sim, thresholds=(0.95, 0.8, 0.6))
+        guardbands = [p.guardband for p in plans]
+        areas = [p.area_overhead for p in plans]
+        assert guardbands == sorted(guardbands, reverse=True)
+        assert areas == sorted(areas)

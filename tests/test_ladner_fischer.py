@@ -1,0 +1,122 @@
+"""Functional and structural tests for the Ladner-Fischer adder."""
+
+import random
+
+import pytest
+
+from repro.circuits import AgingSimulator, build_ladner_fischer_adder
+from repro.nbti.transistor import WidthClass
+
+
+class TestFunctionalCorrectness:
+    @pytest.mark.parametrize("a,b,cin", [
+        (0, 0, 0),
+        (0, 0, 1),
+        (255, 1, 0),
+        (255, 255, 1),
+        (170, 85, 0),
+        (128, 128, 0),
+    ])
+    def test_exhaustive_corners_8bit(self, adder8, a, b, cin):
+        total, cout = adder8.add(a, b, cin)
+        reference = a + b + cin
+        assert total == reference & 0xFF
+        assert cout == reference >> 8
+
+    def test_random_vectors_8bit(self, adder8):
+        rng = random.Random(42)
+        for __ in range(200):
+            a, b = rng.randrange(256), rng.randrange(256)
+            cin = rng.randrange(2)
+            total, cout = adder8.add(a, b, cin)
+            reference = a + b + cin
+            assert total == reference & 0xFF
+            assert cout == reference >> 8
+
+    def test_random_vectors_32bit(self, adder32):
+        rng = random.Random(7)
+        mask = (1 << 32) - 1
+        for __ in range(50):
+            a, b = rng.getrandbits(32), rng.getrandbits(32)
+            cin = rng.randrange(2)
+            total, cout = adder32.add(a, b, cin)
+            reference = a + b + cin
+            assert total == reference & mask
+            assert cout == reference >> 32
+
+    def test_non_power_of_two_width(self):
+        adder = build_ladner_fischer_adder(width=5)
+        for a in range(32):
+            total, cout = adder.add(a, 31 - a, 1)
+            assert total == 0
+            assert cout == 1
+
+    def test_width_one(self):
+        adder = build_ladner_fischer_adder(width=1)
+        assert adder.add(1, 1, 1) == (1, 1)
+
+    def test_operand_range_checked(self, adder8):
+        with pytest.raises(ValueError):
+            adder8.add(256, 0, 0)
+        with pytest.raises(ValueError):
+            adder8.add(0, 0, 2)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            build_ladner_fischer_adder(width=0)
+
+
+class TestStructure:
+    def test_counts_scale_with_width(self, adder8, adder32):
+        assert adder32.gate_count > adder8.gate_count
+        assert adder32.pmos_count > adder8.pmos_count
+        assert adder32.transistor_count == 2 * adder32.pmos_count
+
+    def test_has_wide_transistors_from_sizing(self, adder32):
+        wide = adder32.pmos_count - adder32.narrow_pmos_count
+        assert wide > 0
+        # The wide population is a minority: only block boundaries and
+        # output stages are upsized.
+        assert wide < adder32.pmos_count / 2
+
+    def test_block_boundary_fanout_exists(self, adder32):
+        # Ladner-Fischer's hallmark: some prefix node drives many
+        # consumers (fanout >= 4 triggers wide sizing).
+        circuit = adder32.circuit
+        assert any(
+            circuit.fanout(g.output) >= 4 for g in circuit.gates
+        )
+
+    def test_output_stage_is_wide(self, adder32):
+        circuit = adder32.circuit
+        for node in circuit.outputs:
+            driver = circuit.driver_of(node)
+            assert driver.width_class is WidthClass.WIDE
+
+    def test_pin_names(self, adder8):
+        assert adder8.a_pin(0) == "a0"
+        assert adder8.b_pin(7) == "b7"
+        assert adder8.sum_pin(3) == "s3"
+        assert adder8.cin_pin == "cin"
+        assert adder8.cout_pin == "cout"
+
+
+class TestIdlePairBehaviour:
+    def test_pair_1_8_leaves_no_narrow_fully_stressed(self, adder32):
+        """The paper's winning pair: all-zeros + all-ones round-robin."""
+        ones = (1 << 32) - 1
+        sim = AgingSimulator(adder32.circuit)
+        sim.apply(adder32.input_vector(0, 0, 0), 1.0)
+        sim.apply(adder32.input_vector(ones, ones, 1), 1.0)
+        report = sim.report()
+        assert report.narrow_fully_stressed == 0
+        # "only few wide PMOS have 100% zero-signal probability"
+        assert 0 < report.wide_fully_stressed < adder32.pmos_count * 0.1
+
+    def test_bad_pair_stresses_narrow_transistors(self, adder32):
+        """<0,0,0> + <0,0,1> keeps operand inputs at zero throughout."""
+        sim = AgingSimulator(adder32.circuit)
+        sim.apply(adder32.input_vector(0, 0, 0), 1.0)
+        sim.apply(adder32.input_vector(0, 0, 1), 1.0)
+        report = sim.report()
+        assert report.narrow_fully_stressed > 0

@@ -1,0 +1,131 @@
+"""Unit tests for the duty->guardband calibration.
+
+The key property: the model reproduces every guardband number quoted in
+the paper's evaluation from the corresponding duty/bias alone.
+"""
+
+import pytest
+
+from repro.nbti.guardband import (
+    DEFAULT_GUARDBAND_MODEL,
+    GuardbandModel,
+    MIN_GUARDBAND,
+    WORST_GUARDBAND,
+)
+
+
+class TestPaperAnchors:
+    """Every guardband the paper quotes, from its duty."""
+
+    @pytest.mark.parametrize(
+        "duty,expected",
+        [
+            (0.50, 0.020),   # perfect balancing: 10x reduction
+            (1.00, 0.200),   # full bias: the whole guardband
+            (0.545, 0.0362),  # FP register file after ISV -> "3.6%"
+            (0.605, 0.0578),  # adder at 21% utilisation -> "5.8%"
+            (0.632, 0.0675),  # scheduler worst bit -> "6.7%"
+            (0.650, 0.0740),  # adder at 30% utilisation -> "7.4%"
+        ],
+    )
+    def test_guardband_matches_paper(self, duty, expected):
+        model = GuardbandModel()
+        assert model.guardband_for_duty(duty) == pytest.approx(
+            expected, abs=5e-4
+        )
+
+    def test_10x_reduction_at_balance(self):
+        assert DEFAULT_GUARDBAND_MODEL.guardband_reduction(0.5) == pytest.approx(10.0)
+
+
+class TestGuardbandForDuty:
+    def test_clamps_below_half(self):
+        model = GuardbandModel()
+        assert model.guardband_for_duty(0.2) == MIN_GUARDBAND
+        assert model.guardband_for_duty(0.0) == MIN_GUARDBAND
+
+    def test_monotonic_above_half(self):
+        model = GuardbandModel()
+        values = [model.guardband_for_duty(0.5 + i * 0.05) for i in range(11)]
+        assert values == sorted(values)
+
+    def test_range_bounds(self):
+        model = GuardbandModel()
+        for i in range(21):
+            gb = model.guardband_for_duty(i / 20)
+            assert MIN_GUARDBAND <= gb <= WORST_GUARDBAND
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            GuardbandModel().guardband_for_duty(1.2)
+
+
+class TestGuardbandForBias:
+    def test_symmetric_in_bias(self):
+        model = GuardbandModel()
+        assert model.guardband_for_bias(0.8) == pytest.approx(
+            model.guardband_for_bias(0.2)
+        )
+
+    def test_balanced_cell_gets_floor(self):
+        assert GuardbandModel().guardband_for_bias(0.5) == MIN_GUARDBAND
+
+    def test_fully_biased_cell_gets_worst(self):
+        assert GuardbandModel().guardband_for_bias(1.0) == WORST_GUARDBAND
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            GuardbandModel().guardband_for_bias(-0.01)
+
+
+class TestVthAndVmin:
+    def test_vth_anchors(self):
+        model = GuardbandModel()
+        assert model.vth_shift_for_duty(1.0) == pytest.approx(0.10)
+        assert model.vth_shift_for_duty(0.5) == pytest.approx(0.01)
+
+    def test_vth_monotonic(self):
+        model = GuardbandModel()
+        shifts = [model.vth_shift_for_duty(i / 10) for i in range(11)]
+        assert shifts == sorted(shifts)
+
+    def test_vth_zero_at_zero_duty(self):
+        assert GuardbandModel().vth_shift_for_duty(0.0) == 0.0
+
+    def test_vmin_tracks_worst_pmos(self):
+        model = GuardbandModel()
+        # Cell biased 90% to zero: worst PMOS duty is 0.9.
+        assert model.vmin_increase_for_bias(0.9) == pytest.approx(
+            model.vth_shift_for_duty(0.9)
+        )
+        # Symmetric.
+        assert model.vmin_increase_for_bias(0.1) == pytest.approx(
+            model.vmin_increase_for_bias(0.9)
+        )
+
+    def test_balanced_cell_vmin_is_minimal(self):
+        model = GuardbandModel()
+        balanced = model.vmin_increase_for_bias(0.5)
+        biased = model.vmin_increase_for_bias(0.95)
+        assert balanced < biased
+        assert balanced == pytest.approx(0.01)
+
+    def test_vmin_10x_reduction(self):
+        # Mitigating NBTI reduces the Vmin increase ~10x (Section 1).
+        model = GuardbandModel()
+        ratio = model.vmin_increase_for_bias(1.0) / model.vmin_increase_for_bias(0.5)
+        assert ratio == pytest.approx(10.0)
+
+
+class TestValidation:
+    def test_rejects_inverted_anchors(self):
+        with pytest.raises(ValueError):
+            GuardbandModel(min_guardband=0.3, worst_guardband=0.2)
+
+    def test_rejects_bad_vth_anchors(self):
+        with pytest.raises(ValueError):
+            GuardbandModel(balanced_vth_shift=0.2, worst_vth_shift=0.1)
+
+    def test_custom_anchors_respected(self):
+        model = GuardbandModel(min_guardband=0.01, worst_guardband=0.10)
+        assert model.guardband_for_duty(0.75) == pytest.approx(0.055)

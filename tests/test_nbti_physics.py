@@ -1,0 +1,198 @@
+"""Unit tests for the reaction-diffusion NBTI model."""
+
+import math
+
+import pytest
+
+from repro.nbti.physics import (
+    ReactionDiffusionModel,
+    StressPhase,
+    simulate_waveform,
+    steady_state_fill,
+)
+
+
+class TestSteadyStateFill:
+    def test_full_stress_saturates(self):
+        assert steady_state_fill(1.0) == 1.0
+
+    def test_no_stress_is_pristine(self):
+        assert steady_state_fill(0.0) == 0.0
+
+    def test_balanced_duty_hits_10x_anchor(self):
+        # fill(0.5) = 0.1 is the paper's "one order of magnitude lower"
+        # V_TH shift for balanced signals.
+        assert steady_state_fill(0.5) == pytest.approx(0.1)
+
+    def test_monotonic_in_duty(self):
+        fills = [steady_state_fill(d / 10) for d in range(11)]
+        assert fills == sorted(fills)
+        assert all(b > a for a, b in zip(fills, fills[1:]))
+
+    def test_rejects_out_of_range_duty(self):
+        with pytest.raises(ValueError):
+            steady_state_fill(1.5)
+        with pytest.raises(ValueError):
+            steady_state_fill(-0.1)
+
+    def test_rejects_bad_recovery_ratio(self):
+        with pytest.raises(ValueError):
+            steady_state_fill(0.5, recovery_ratio=0.0)
+
+    def test_custom_recovery_ratio(self):
+        # Equal rates: fill(d) = d/(d + (1-d)) = d.
+        assert steady_state_fill(0.3, recovery_ratio=1.0) == pytest.approx(0.3)
+
+
+class TestReactionDiffusionModel:
+    def test_stress_increases_nit(self):
+        model = ReactionDiffusionModel()
+        before = model.nit
+        model.stress(1000.0)
+        assert model.nit > before
+
+    def test_relax_decreases_nit(self):
+        model = ReactionDiffusionModel()
+        model.stress(1000.0)
+        stressed = model.nit
+        model.relax(1000.0)
+        assert 0.0 < model.nit < stressed
+
+    def test_recovery_is_asymptotic_not_complete(self):
+        # "Full recovery could only happen after infinite relaxation
+        # time": each relax interval shrinks NIT geometrically but never
+        # reaches zero (within float range).
+        model = ReactionDiffusionModel()
+        model.stress(1000.0)
+        previous = model.nit
+        for __ in range(5):
+            model.relax(100.0)
+            assert 0.0 < model.nit < previous
+            previous = model.nit
+
+    def test_nit_bounded_by_n_max(self):
+        model = ReactionDiffusionModel()
+        model.stress(1e9)
+        assert model.nit <= model.n_max
+
+    def test_exact_exponential_stress_update(self):
+        model = ReactionDiffusionModel(k_stress=1e-3)
+        model.stress(500.0)
+        assert model.nit == pytest.approx(1.0 - math.exp(-0.5))
+
+    def test_split_stress_equals_single_interval(self):
+        a = ReactionDiffusionModel()
+        b = ReactionDiffusionModel()
+        a.stress(800.0)
+        for __ in range(8):
+            b.stress(100.0)
+        assert a.nit == pytest.approx(b.nit)
+
+    def test_duty_cycle_converges_to_steady_state(self):
+        model = ReactionDiffusionModel(k_stress=1e-3)
+        # Fast switching relative to 1/k: the discrete trajectory
+        # converges to the continuous steady state.
+        model.run_duty_cycle(duty=0.5, period=1.0, cycles=30_000)
+        assert model.fill == pytest.approx(model.steady_state(0.5), rel=0.05)
+
+    def test_duty_cycle_ordering(self):
+        fills = []
+        for duty in (0.3, 0.6, 0.9):
+            model = ReactionDiffusionModel()
+            model.run_duty_cycle(duty, period=1.0, cycles=20_000)
+            fills.append(model.fill)
+        assert fills == sorted(fills)
+
+    def test_history_records_phase_boundaries(self):
+        model = ReactionDiffusionModel()
+        model.stress(10.0)
+        model.relax(5.0)
+        history = model.history
+        assert len(history) == 3
+        assert history[0] == (0.0, 0.0)
+        assert history[-1][0] == pytest.approx(15.0)
+
+    def test_saw_tooth_shape(self):
+        # Figure 1: NIT rises during stress, falls during relax.
+        model = ReactionDiffusionModel()
+        trajectory = simulate_waveform(
+            [(StressPhase.STRESS, 500.0), (StressPhase.RELAX, 500.0)] * 3,
+            model,
+        )
+        values = [nit for __, nit in trajectory]
+        for i in range(1, len(values), 2):
+            assert values[i] > values[i - 1]  # stress raised NIT
+        for i in range(2, len(values), 2):
+            assert values[i] < values[i - 1]  # relax lowered NIT
+
+    def test_degradation_slows_as_bonds_deplete(self):
+        # Figure 1's saturating envelope: equal stress intervals generate
+        # fewer traps as fewer Si-H bonds remain.
+        model = ReactionDiffusionModel()
+        deltas = []
+        for __ in range(5):
+            before = model.nit
+            model.stress(1000.0)
+            deltas.append(model.nit - before)
+        assert deltas == sorted(deltas, reverse=True)
+
+    def test_temperature_accelerates_stress(self):
+        hot = ReactionDiffusionModel(temperature_k=400.0)
+        cold = ReactionDiffusionModel(temperature_k=320.0)
+        assert hot.acceleration > 1.0 > cold.acceleration
+
+    def test_voltage_accelerates_stress(self):
+        high = ReactionDiffusionModel(vdd=1.3)
+        low = ReactionDiffusionModel(vdd=0.9)
+        assert high.acceleration > 1.0 > low.acceleration
+
+    def test_reference_conditions_are_neutral(self):
+        assert ReactionDiffusionModel().acceleration == pytest.approx(1.0)
+
+    def test_reset(self):
+        model = ReactionDiffusionModel()
+        model.stress(100.0)
+        model.reset()
+        assert model.nit == 0.0
+        assert model.time == 0.0
+        assert model.history == [(0.0, 0.0)]
+
+    def test_apply_dispatches_phases(self):
+        model = ReactionDiffusionModel()
+        model.apply(StressPhase.STRESS, 100.0)
+        assert model.nit > 0.0
+        nit = model.nit
+        model.apply(StressPhase.RELAX, 100.0)
+        assert model.nit < nit
+
+    def test_rejects_negative_duration(self):
+        model = ReactionDiffusionModel()
+        with pytest.raises(ValueError):
+            model.stress(-1.0)
+        with pytest.raises(ValueError):
+            model.relax(-1.0)
+
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ReactionDiffusionModel(k_stress=0.0)
+        with pytest.raises(ValueError):
+            ReactionDiffusionModel(recovery_ratio=-1.0)
+        with pytest.raises(ValueError):
+            ReactionDiffusionModel(n_max=0.0)
+        with pytest.raises(ValueError):
+            ReactionDiffusionModel(nit=2.0)
+
+    def test_rejects_negative_cycles(self):
+        with pytest.raises(ValueError):
+            ReactionDiffusionModel().run_duty_cycle(0.5, 1.0, -1)
+
+
+class TestSimulateWaveform:
+    def test_creates_default_model(self):
+        trajectory = simulate_waveform([(StressPhase.STRESS, 100.0)])
+        assert len(trajectory) == 2
+        assert trajectory[-1][1] > 0.0
+
+    def test_empty_waveform(self):
+        trajectory = simulate_waveform([])
+        assert trajectory == [(0.0, 0.0)]

@@ -1,0 +1,68 @@
+"""Tests for the Vmin-driven power model."""
+
+import pytest
+
+from repro.nbti.power import ArrayPowerModel
+
+
+class TestVmin:
+    def test_balanced_array_keeps_nominal_headroom(self):
+        model = ArrayPowerModel()
+        assert model.vmin(0.5) == pytest.approx(0.70 + 0.01, abs=1e-6)
+
+    def test_biased_array_raises_vmin(self):
+        model = ArrayPowerModel()
+        assert model.vmin(0.9) > model.vmin(0.5)
+        # Fully biased: the full 10% V_TH shift lands on Vmin.
+        assert model.vmin(1.0) == pytest.approx(0.70 + 0.10)
+
+    def test_vmin_symmetric_in_bias(self):
+        model = ArrayPowerModel()
+        assert model.vmin(0.1) == pytest.approx(model.vmin(0.9))
+
+
+class TestOperatingVoltage:
+    def test_floored_at_vmin(self):
+        model = ArrayPowerModel()
+        assert model.operating_voltage(0.9, target_vdd=0.6) == \
+            pytest.approx(model.vmin(0.9))
+
+    def test_unconstrained_above_vmin(self):
+        model = ArrayPowerModel()
+        assert model.operating_voltage(0.9, target_vdd=0.95) == 0.95
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArrayPowerModel().operating_voltage(0.9, target_vdd=0.0)
+
+
+class TestPower:
+    def test_quadratic_scaling(self):
+        model = ArrayPowerModel()
+        assert model.relative_power(1.0) == pytest.approx(1.0)
+        assert model.relative_power(0.5) == pytest.approx(0.25)
+
+    def test_savings_from_balancing(self):
+        model = ArrayPowerModel()
+        # Paper scenario: bias 90% baseline vs ~50% after Penelope,
+        # scaling toward a deep-sleep-ish 0.6V target.
+        savings = model.savings_from_balancing(
+            baseline_bias=0.9, protected_bias=0.52, target_vdd=0.6
+        )
+        assert savings > 0.0
+        # More balancing never hurts.
+        more = model.savings_from_balancing(0.9, 0.5, 0.6)
+        assert more >= savings
+
+    def test_no_savings_when_target_above_floors(self):
+        model = ArrayPowerModel()
+        assert model.savings_from_balancing(0.9, 0.5, 0.95) == \
+            pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArrayPowerModel(nominal_vmin=1.5)
+        with pytest.raises(ValueError):
+            ArrayPowerModel(leakage_share=2.0)
+        with pytest.raises(ValueError):
+            ArrayPowerModel().relative_power(0.0)

@@ -1,0 +1,131 @@
+"""Unit tests for the stress ledgers."""
+
+import pytest
+
+from repro.nbti.stress import BitCellStress, NodeStress, StressLedger
+
+
+class TestNodeStress:
+    def test_duty_accumulation(self):
+        node = NodeStress()
+        node.observe(0, 3.0)
+        node.observe(1, 1.0)
+        assert node.duty == pytest.approx(0.75)
+        assert node.total_time == pytest.approx(4.0)
+
+    def test_unobserved_duty_is_zero(self):
+        assert NodeStress().duty == 0.0
+
+    def test_rejects_bad_value(self):
+        with pytest.raises(ValueError):
+            NodeStress().observe(2)
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            NodeStress().observe(0, -1.0)
+
+    def test_merge(self):
+        a = NodeStress()
+        a.observe(0, 2.0)
+        b = NodeStress()
+        b.observe(1, 2.0)
+        a.merge(b)
+        assert a.duty == pytest.approx(0.5)
+
+
+class TestStressLedger:
+    def test_observe_and_duty(self):
+        ledger = StressLedger()
+        ledger.observe("n", 0, 9.0)
+        ledger.observe("n", 1, 1.0)
+        assert ledger.duty("n") == pytest.approx(0.9)
+
+    def test_unknown_node_duty_zero(self):
+        assert StressLedger().duty("missing") == 0.0
+
+    def test_observe_word_bits(self):
+        ledger = StressLedger()
+        ledger.observe_word("w", 0b101, width=3, duration=2.0)
+        assert ledger.duty(("w", 0)) == 0.0
+        assert ledger.duty(("w", 1)) == 1.0
+        assert ledger.duty(("w", 2)) == 0.0
+
+    def test_observe_word_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            StressLedger().observe_word("w", 1, width=0)
+
+    def test_worst(self):
+        ledger = StressLedger()
+        ledger.observe("a", 0, 1.0)
+        ledger.observe("a", 1, 1.0)
+        ledger.observe("b", 0, 3.0)
+        ledger.observe("b", 1, 1.0)
+        node, duty = ledger.worst()
+        assert node == "b"
+        assert duty == pytest.approx(0.75)
+
+    def test_worst_on_empty_raises(self):
+        with pytest.raises(ValueError):
+            StressLedger().worst()
+
+    def test_merge_ledgers(self):
+        a = StressLedger()
+        a.observe("x", 0, 1.0)
+        b = StressLedger()
+        b.observe("x", 1, 1.0)
+        b.observe("y", 0, 1.0)
+        a.merge(b)
+        assert a.duty("x") == pytest.approx(0.5)
+        assert "y" in a
+        assert len(a) == 2
+
+    def test_duties_mapping(self):
+        ledger = StressLedger()
+        ledger.observe("x", 0, 1.0)
+        assert ledger.duties() == {"x": 1.0}
+
+    def test_total_time(self):
+        ledger = StressLedger()
+        ledger.observe("x", 0, 2.5)
+        assert ledger.total_time("x") == 2.5
+        assert ledger.total_time("y") == 0.0
+
+
+class TestBitCellStress:
+    def test_worst_duty_is_max_of_complements(self):
+        cell = BitCellStress()
+        cell.observe(0, 7.0)
+        cell.observe(1, 3.0)
+        assert cell.bias_to_zero == pytest.approx(0.7)
+        assert cell.worst_duty == pytest.approx(0.7)
+
+    def test_biased_to_one_still_stresses(self):
+        # Storing "1" stresses the opposite PMOS (Section 3.2).
+        cell = BitCellStress()
+        cell.observe(1, 9.0)
+        cell.observe(0, 1.0)
+        assert cell.worst_duty == pytest.approx(0.9)
+
+    def test_balanced_cell_is_optimal(self):
+        cell = BitCellStress()
+        cell.observe(0, 5.0)
+        cell.observe(1, 5.0)
+        assert cell.worst_duty == pytest.approx(0.5)
+        assert cell.imbalance == pytest.approx(0.0)
+
+    def test_imbalance(self):
+        cell = BitCellStress()
+        cell.observe(0, 3.0)
+        cell.observe(1, 1.0)
+        assert cell.imbalance == pytest.approx(0.25)
+
+    def test_empty_cell(self):
+        cell = BitCellStress()
+        assert cell.worst_duty == 0.0
+        assert cell.imbalance == 0.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            BitCellStress().observe(3)
+        with pytest.raises(ValueError):
+            BitCellStress().observe(0, -2.0)

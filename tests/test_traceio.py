@@ -1,0 +1,81 @@
+"""Tests for trace serialization."""
+
+import os
+
+import pytest
+
+from repro.uarch.traceio import iter_trace_records, load_trace, save_trace
+from repro.workloads import TraceGenerator
+
+
+@pytest.fixture()
+def trace():
+    return TraceGenerator(seed=3).generate("multimedia", length=400)
+
+
+class TestRoundTrip:
+    def test_plain_jsonl(self, trace, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.name == trace.name
+        assert loaded.suite == trace.suite
+        assert len(loaded) == len(trace)
+        for original, restored in zip(trace, loaded):
+            assert original.__dict__ == restored.__dict__
+
+    def test_gzip(self, trace, tmp_path):
+        path = str(tmp_path / "t.jsonl.gz")
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert len(loaded) == len(trace)
+        # gzip actually compresses.
+        plain = str(tmp_path / "t.jsonl")
+        save_trace(trace, plain)
+        assert os.path.getsize(path) < os.path.getsize(plain)
+
+    def test_replay_equivalence(self, trace, tmp_path):
+        from repro.uarch import TraceDrivenCore
+
+        path = str(tmp_path / "t.jsonl")
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        a = TraceDrivenCore().run(trace)
+        b = TraceDrivenCore().run(loaded)
+        assert a.cycles == b.cycles
+        assert a.dl0.misses == b.dl0.misses
+
+
+class TestStreaming:
+    def test_iter_records(self, trace, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        save_trace(trace, path)
+        records = list(iter_trace_records(path))
+        assert len(records) == len(trace)
+        assert records[0]["seq"] == 0
+        assert "uop_class" in records[0]
+
+
+class TestErrors:
+    def test_empty_file_rejected(self, tmp_path):
+        path = str(tmp_path / "empty.jsonl")
+        open(path, "w").close()
+        with pytest.raises(ValueError, match="empty"):
+            load_trace(path)
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = str(tmp_path / "bad.jsonl")
+        with open(path, "w") as handle:
+            handle.write('{"format": 99, "name": "x", "suite": "y", '
+                         '"length": 0}\n')
+        with pytest.raises(ValueError, match="format"):
+            load_trace(path)
+
+    def test_truncated_file_rejected(self, trace, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        save_trace(trace, path)
+        lines = open(path).readlines()
+        with open(path, "w") as handle:
+            handle.writelines(lines[:-10])
+        with pytest.raises(ValueError, match="header declares"):
+            load_trace(path)

@@ -1,0 +1,101 @@
+"""Unit tests for interval-based bit-cell residency accounting."""
+
+import numpy as np
+import pytest
+
+from repro.uarch.bitbias import BitBiasAccumulator, pack_bits, unpack_bits
+
+
+class TestUnpackPack:
+    @pytest.mark.parametrize("value,width", [
+        (0, 8), (1, 8), (255, 8), (0b1010, 4), (1 << 79, 80), (12345, 16),
+    ])
+    def test_roundtrip(self, value, width):
+        assert pack_bits(unpack_bits(value, width)) == value
+
+    def test_little_endian_order(self):
+        bits = unpack_bits(0b110, 3)
+        assert list(bits) == [0, 1, 1]
+
+    def test_width_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            unpack_bits(256, 8)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            unpack_bits(-1, 8)
+
+    def test_cached_small_width_consistent(self):
+        # width <= 16 goes through the lru_cache path.
+        a = unpack_bits(5, 8)
+        b = unpack_bits(5, 8)
+        assert np.array_equal(a, b)
+
+
+class TestBitBiasAccumulator:
+    def test_single_entry_residency(self):
+        acc = BitBiasAccumulator(entries=1, width=4)
+        acc.set_value(0, 0b1111, now=2.0)   # zeros held for 2 units
+        acc.finalize(6.0)                   # ones held for 4 units
+        bias = acc.bias_to_zero()
+        assert np.allclose(bias, [2 / 6] * 4)
+
+    def test_initial_value(self):
+        acc = BitBiasAccumulator(entries=2, width=2, initial_value=0b11)
+        acc.finalize(1.0)
+        assert np.allclose(acc.bias_to_zero(), [0.0, 0.0])
+
+    def test_per_entry_independence(self):
+        acc = BitBiasAccumulator(entries=2, width=1)
+        acc.set_value(0, 1, now=0.0)
+        acc.finalize(10.0)
+        cell = acc.cell_bias_to_zero()
+        assert cell[0, 0] == pytest.approx(0.0)
+        assert cell[1, 0] == pytest.approx(1.0)
+
+    def test_aggregated_bias_weights_by_time(self):
+        acc = BitBiasAccumulator(entries=2, width=1)
+        acc.set_value(0, 1, now=0.0)  # entry 0 holds 1 forever
+        acc.finalize(4.0)             # entry 1 holds 0 forever
+        assert acc.bias_to_zero()[0] == pytest.approx(0.5)
+
+    def test_worst_bias_and_bit(self):
+        acc = BitBiasAccumulator(entries=1, width=3)
+        acc.set_value(0, 0b010, now=0.0)
+        acc.finalize(10.0)
+        assert acc.worst_bias() == pytest.approx(1.0)
+        bit, bias = acc.worst_bit()
+        assert bit in (0, 2)
+        assert bias == pytest.approx(1.0)
+
+    def test_time_backwards_rejected(self):
+        acc = BitBiasAccumulator(entries=1, width=1)
+        acc.set_value(0, 1, now=5.0)
+        with pytest.raises(ValueError):
+            acc.set_value(0, 0, now=3.0)
+
+    def test_out_of_order_across_entries_allowed(self):
+        acc = BitBiasAccumulator(entries=2, width=1)
+        acc.set_value(0, 1, now=5.0)
+        acc.set_value(1, 1, now=3.0)  # earlier time, different entry: fine
+        acc.finalize(10.0)
+
+    def test_current_value(self):
+        acc = BitBiasAccumulator(entries=1, width=8)
+        acc.set_value(0, 171, now=1.0)
+        assert acc.current_value(0) == 171
+
+    def test_unobserved_reports_half(self):
+        acc = BitBiasAccumulator(entries=1, width=2)
+        assert np.allclose(acc.bias_to_zero(), [0.5, 0.5])
+
+    def test_total_observed_time(self):
+        acc = BitBiasAccumulator(entries=2, width=4)
+        acc.finalize(3.0)
+        assert acc.total_observed_time() == pytest.approx(2 * 4 * 3.0)
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ValueError):
+            BitBiasAccumulator(entries=0, width=4)
+        with pytest.raises(ValueError):
+            BitBiasAccumulator(entries=4, width=0)

@@ -1,0 +1,187 @@
+"""Tests for the trace-driven core model."""
+
+import pytest
+
+from repro.uarch import CoreConfig, TraceDrivenCore
+from repro.uarch.core import CompositeHooks, CoreHooks
+from repro.uarch.trace import Trace
+from repro.uarch.uop import Uop, UopClass
+from repro.workloads import TraceGenerator
+
+
+def tiny_trace(uops):
+    trace = Trace(name="t", suite="test")
+    for uop in uops:
+        trace.append(uop)
+    return trace
+
+
+class TestBasicExecution:
+    def test_empty_result_fields(self, small_trace):
+        result = TraceDrivenCore().run(small_trace)
+        assert result.uops == len(small_trace)
+        assert result.cycles > 0
+        assert 0.0 < result.cpi < 10.0
+        assert result.ipc == pytest.approx(1.0 / result.cpi)
+
+    def test_deterministic(self, small_trace):
+        a = TraceDrivenCore().run(small_trace)
+        b = TraceDrivenCore().run(small_trace)
+        assert a.cycles == b.cycles
+        assert a.dl0.misses == b.dl0.misses
+
+    def test_dependency_serialisation(self):
+        # A chain of dependent ALU ops cannot run faster than one per
+        # cycle; independent ones can.
+        chain = tiny_trace([
+            Uop(seq=i, uop_class=UopClass.ALU, src1=0, dst=0)
+            for i in range(64)
+        ])
+        parallel = tiny_trace([
+            Uop(seq=i, uop_class=UopClass.ALU, src1=i % 8, dst=i % 8)
+            for i in range(64)
+        ])
+        chain_res = TraceDrivenCore().run(chain)
+        parallel_res = TraceDrivenCore().run(parallel)
+        assert chain_res.cycles >= 63
+        assert parallel_res.cycles < chain_res.cycles
+
+    def test_cache_misses_slow_execution(self):
+        hits = tiny_trace([
+            Uop(seq=i, uop_class=UopClass.LOAD, src1=0, dst=1,
+                address=0x1000)
+            for i in range(128)
+        ])
+        misses = tiny_trace([
+            Uop(seq=i, uop_class=UopClass.LOAD, src1=0, dst=1,
+                address=0x1000 + i * 4096 * 17)
+            for i in range(128)
+        ])
+        fast = TraceDrivenCore().run(hits)
+        slow = TraceDrivenCore().run(misses)
+        assert slow.cycles > fast.cycles
+        assert slow.dl0.miss_rate > fast.dl0.miss_rate
+
+    def test_mispredict_redirect_stalls_alloc(self):
+        base_uops = [
+            Uop(seq=i, uop_class=UopClass.ALU, src1=i % 4, dst=i % 4)
+            for i in range(100)
+        ]
+        clean = tiny_trace(list(base_uops))
+        flushed_uops = list(base_uops)
+        flushed_uops[50] = Uop(seq=50, uop_class=UopClass.BRANCH, src1=0,
+                               taken=True, mispredicted=True)
+        flushed = tiny_trace(flushed_uops)
+        assert (TraceDrivenCore().run(flushed).cycles
+                > TraceDrivenCore().run(clean).cycles)
+
+    def test_scheduler_capacity_limits_runahead(self):
+        # Long-latency producers pile up: a tiny scheduler stalls alloc.
+        uops = [
+            Uop(seq=i, uop_class=UopClass.MUL, src1=0, dst=0, latency=8)
+            for i in range(64)
+        ]
+        small = TraceDrivenCore(CoreConfig(scheduler_entries=4))
+        big = TraceDrivenCore(CoreConfig(scheduler_entries=32))
+        assert small.run(tiny_trace(uops)).cycles >= \
+            big.run(tiny_trace(uops)).cycles
+
+
+class TestStatistics:
+    def test_occupancies_in_range(self, small_trace):
+        result = TraceDrivenCore().run(small_trace)
+        assert 0.0 < result.scheduler.occupancy < 1.0
+        assert 0.0 < result.int_rf.free_fraction < 1.0
+
+    def test_adder_utilisation_tracked(self, small_trace):
+        result = TraceDrivenCore().run(small_trace)
+        assert len(result.adder_utilization) == 4
+        assert all(0.0 <= u <= 1.0 for u in result.adder_utilization)
+        assert result.adder_samples  # reservoir collected vectors
+
+    def test_carry_in_bias_matches_motivation(self, small_trace):
+        # Section 1.1: the adder carry-in is "0" more than 90% of the time.
+        result = TraceDrivenCore().run(small_trace)
+        cins = [v[2] for v in result.adder_samples]
+        assert 1.0 - sum(cins) / len(cins) > 0.9
+
+    def test_int_bias_band_matches_motivation(self):
+        # Section 1.1: INT RF zero bias between 65% and 90% for all bits
+        # (wide tolerance: short traces carry warmup noise).
+        trace = TraceGenerator(seed=2).generate("specint2000", length=4000)
+        result = TraceDrivenCore().run(trace)
+        bias = result.int_rf.bias_to_zero
+        assert bias.min() > 0.55
+        assert bias.max() < 0.97
+
+    def test_mob_ids_evenly_used(self, small_trace):
+        core = TraceDrivenCore()
+        core.run(small_trace)
+        assert core.mob.usage_imbalance() < 1.5
+
+
+class TestHooks:
+    def test_hooks_fire(self, small_trace):
+        events = {"rf_write": 0, "rf_release": 0, "fill": 0, "release": 0}
+
+        class Counter(CoreHooks):
+            def on_regfile_write(self, rf, entry, value, now):
+                events["rf_write"] += 1
+
+            def on_regfile_release(self, rf, entry, now):
+                events["rf_release"] += 1
+
+            def on_scheduler_fill(self, sched, slot, uop, now):
+                events["fill"] += 1
+
+            def on_scheduler_release(self, sched, slot, now):
+                events["release"] += 1
+
+        TraceDrivenCore(hooks=Counter()).run(small_trace)
+        assert events["fill"] == len(small_trace)
+        assert events["release"] == len(small_trace)
+        assert events["rf_write"] > 0
+        assert events["rf_release"] > 0
+
+    def test_composite_hooks_fan_out(self, small_trace):
+        counts = [0, 0]
+
+        class Counter(CoreHooks):
+            def __init__(self, index):
+                self.index = index
+
+            def on_scheduler_fill(self, sched, slot, uop, now):
+                counts[self.index] += 1
+
+        hooks = CompositeHooks([Counter(0), Counter(1)])
+        TraceDrivenCore(hooks=hooks).run(small_trace)
+        assert counts[0] == counts[1] == len(small_trace)
+
+    def test_cache_override(self, small_trace):
+        class CountingCache:
+            def __init__(self):
+                self.calls = 0
+
+            def access(self, address):
+                self.calls += 1
+                return True
+
+            def translate(self, address):
+                self.calls += 1
+                return True
+
+            stats = None
+
+        dl0 = CountingCache()
+        dtlb = CountingCache()
+        TraceDrivenCore(dl0=dl0, dtlb=dtlb).run(small_trace)
+        assert dl0.calls > 0
+        assert dtlb.calls > 0
+
+
+class TestConfigValidation:
+    def test_rejects_bad_widths(self):
+        with pytest.raises(ValueError):
+            CoreConfig(alloc_width=0)
+        with pytest.raises(ValueError):
+            CoreConfig(scheduler_entries=0)

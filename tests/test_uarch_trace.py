@@ -1,0 +1,70 @@
+"""Tests for the trace container utilities."""
+
+import pytest
+
+from repro.uarch.trace import Trace, TraceStats, concatenate
+from repro.uarch.uop import Uop, UopClass
+from repro.workloads import TraceGenerator
+
+
+def make_trace(n=10, suite="test"):
+    trace = Trace(name="t", suite=suite)
+    for i in range(n):
+        trace.append(Uop(seq=i, uop_class=UopClass.ALU, dst=1))
+    return trace
+
+
+class TestTrace:
+    def test_len_iter_getitem(self):
+        trace = make_trace(5)
+        assert len(trace) == 5
+        assert [u.seq for u in trace] == list(range(5))
+        assert trace[2].seq == 2
+        assert [u.seq for u in trace[1:3]] == [1, 2]
+
+    def test_sample(self):
+        trace = make_trace(10)
+        sampled = trace.sample(3)
+        assert [u.seq for u in sampled] == [0, 3, 6, 9]
+        assert sampled.suite == trace.suite
+        assert "@3" in sampled.name
+
+    def test_sample_validation(self):
+        with pytest.raises(ValueError):
+            make_trace().sample(0)
+
+    def test_stats(self):
+        trace = Trace(name="t", suite="s")
+        trace.append(Uop(seq=0, uop_class=UopClass.ALU, dst=1))
+        trace.append(Uop(seq=1, uop_class=UopClass.LOAD, dst=2,
+                         address=64))
+        stats = trace.stats()
+        assert isinstance(stats, TraceStats)
+        assert stats.length == 2
+        assert stats.fraction(UopClass.ALU) == 0.5
+        assert stats.memory_fraction == 0.5
+
+    def test_empty_stats(self):
+        stats = Trace(name="t", suite="s").stats()
+        assert stats.length == 0
+        assert stats.fraction(UopClass.ALU) == 0.0
+
+
+class TestConcatenate:
+    def test_renumbers_sequences(self):
+        merged = concatenate([make_trace(3), make_trace(3)])
+        assert [u.seq for u in merged] == list(range(6))
+
+    def test_preserves_payload(self):
+        a = TraceGenerator(seed=1).generate("office", length=50)
+        b = TraceGenerator(seed=1).generate("office", length=50,
+                                            trace_index=1)
+        merged = concatenate([a, b], name="pair")
+        assert merged.name == "pair"
+        assert len(merged) == 100
+        assert merged[0].opcode == a[0].opcode
+        assert merged[50].opcode == b[0].opcode
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            concatenate([])
