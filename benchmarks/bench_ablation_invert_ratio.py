@@ -3,52 +3,60 @@
 The paper fixes K=50% for perfect balancing and mentions the fixed /
 dynamic trade-off; this sweep quantifies the bias-vs-performance knob:
 higher ratios balance bit cells harder but cost more capacity.
+
+Driven through the experiment engine (:mod:`repro.experiments`): the
+grid is ratio × suite, points run uncached so the timing stays honest,
+and per-ratio rows aggregate with the summary helpers.
 """
 
 import pytest
 
 from repro.analysis import format_table
-from repro.core.cache_like import LineFixedScheme, run_cache_study
-from repro.uarch.cache import CacheConfig
-from repro.workloads import generate_address_stream, suite_names
+from repro.experiments import (
+    SweepRunner,
+    SweepSpec,
+    aggregate_metric,
+    group_results,
+)
+from repro.workloads import suite_names
 
-CONFIG = CacheConfig(name="DL0-16K-8w", size_bytes=16 * 1024, ways=8)
 RATIOS = (0.25, 0.4, 0.5, 0.6, 0.75)
 
-
-@pytest.fixture(scope="module")
-def streams():
-    return [
-        generate_address_stream(suite, length=10_000, seed=55)
-        for suite in suite_names()
-    ]
+SPEC = SweepSpec(
+    "invert_ratio",
+    base={"length": 10_000, "seed": 55, "size_kb": 16, "ways": 8},
+    grid={"ratio": list(RATIOS), "suite": suite_names()},
+)
 
 
-def sweep(streams):
+def sweep():
+    outcome = SweepRunner(store=None, workers=1).run(SPEC)
     rows = []
     losses = []
-    for ratio in RATIOS:
-        study = run_cache_study(
-            CONFIG, lambda r=ratio: LineFixedScheme(r), streams
-        )
-        # Expected steady-state bias with a fraction `ratio` of the
-        # cells holding inverted (complementary) contents.
-        expected_bias = 0.9 * (1 - study.mean_inverted_ratio) \
-            + 0.1 * study.mean_inverted_ratio
+    data = {}
+    for (ratio,), members in group_results(outcome.results,
+                                           ["ratio"]).items():
+        loss = aggregate_metric(members, "mean_loss")
+        achieved = aggregate_metric(members, "inverted_ratio")
+        expected_bias = aggregate_metric(members, "expected_bias")
         rows.append([
             f"{ratio:.0%}",
-            f"{study.mean_loss:.2%}",
-            f"{study.mean_inverted_ratio:.1%}",
+            f"{loss:.2%}",
+            f"{achieved:.1%}",
             f"{expected_bias:.1%}",
         ])
-        losses.append(study.mean_loss)
-    return rows, losses
+        losses.append(loss)
+        data[f"{ratio:.2f}"] = {
+            "mean_loss": loss,
+            "achieved_ratio": achieved,
+            "expected_bias": expected_bias,
+        }
+    return rows, losses, data
 
 
-def test_ablation_invert_ratio(benchmark, streams):
-    rows, losses = benchmark.pedantic(
-        sweep, args=(streams,), rounds=1, iterations=1
-    )
+def test_ablation_invert_ratio(benchmark):
+    rows, losses, data = benchmark.pedantic(sweep, rounds=1,
+                                            iterations=1)
     # More inversion can only cost more performance.
     assert losses == sorted(losses)
     text = format_table(
@@ -59,4 +67,4 @@ def test_ablation_invert_ratio(benchmark, streams):
     )
     from conftest import write_result
 
-    write_result("ablation_invert_ratio.txt", text)
+    write_result("ablation_invert_ratio.txt", text, data=data)

@@ -5,62 +5,64 @@ NBTI, hence leading to higher power efficiency of such structures."
 This bench quantifies that claim for the register file using the
 measured baseline/ISV biases and the first-order SRAM power model, plus
 a way-granularity inversion data point (the paper's third granularity).
+
+Driven through the experiment engine: the voltage targets are a grid
+axis of the ``vmin_power`` study (the underlying core runs are shared
+across points via the per-worker bias cache), and the way-granularity
+data point is one ``caches`` study point.
 """
 
 import pytest
 
 from repro.analysis import format_table
-from repro.core.cache_like import WayFixedScheme, run_cache_study
-from repro.core.memory_like import ISVRegisterFileProtector
-from repro.nbti.power import ArrayPowerModel
-from repro.uarch import TraceDrivenCore
-from repro.uarch.cache import CacheConfig
-from repro.uarch.uop import INT_WIDTH
-from repro.workloads import TraceGenerator, generate_address_stream
+from repro.experiments import SweepRunner, SweepSpec
 
-from conftest import write_result
+TARGETS = (0.60, 0.70, 0.80)
+
+POWER_SPEC = SweepSpec(
+    "vmin_power",
+    base={"suite": "specint2000", "length": 8000, "seed": 88},
+    grid={"target": list(TARGETS)},
+)
+
+WAY_SPEC = SweepSpec(
+    "caches",
+    base={
+        "suite": "office", "length": 8000, "seed": 88,
+        "size_kb": 16, "ways": 8, "scheme": "way_fixed", "ratio": 0.5,
+    },
+)
 
 
-def measure_biases():
-    trace = TraceGenerator(seed=88).generate("specint2000", length=8000)
-    base = TraceDrivenCore().run(trace)
-    protector = ISVRegisterFileProtector("int_rf", INT_WIDTH, 512.0)
-    prot = TraceDrivenCore(hooks=protector).run(trace)
-    return base.int_rf.worst_bias, prot.int_rf.worst_bias
+def sweep():
+    runner = SweepRunner(store=None, workers=1)
+    power = runner.run(POWER_SPEC).results
+    way = runner.run(WAY_SPEC).results[0]
+    return power, way
 
 
 def test_ablation_vmin_power(benchmark):
-    base_bias, isv_bias = benchmark.pedantic(measure_biases, rounds=1,
-                                             iterations=1)
-    model = ArrayPowerModel()
-    base_vmin = model.vmin(base_bias)
-    isv_vmin = model.vmin(isv_bias)
+    power, way = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    first = power[0].metrics
+    base_bias, isv_bias = first["base_bias"], first["isv_bias"]
+    base_vmin, isv_vmin = first["base_vmin"], first["isv_vmin"]
     assert isv_vmin < base_vmin
 
     rows = []
     savings_by_target = {}
-    for target in (0.60, 0.70, 0.80):
-        savings = model.savings_from_balancing(base_bias, isv_bias,
-                                               target)
-        savings_by_target[target] = savings
+    for result in power:
+        target = result.params["target"]
+        savings_by_target[target] = result.metrics["savings"]
         rows.append([
             f"{target:.2f} V",
-            f"{model.power_at_scaled_voltage(base_bias, target):.3f}",
-            f"{model.power_at_scaled_voltage(isv_bias, target):.3f}",
-            f"{savings:.1%}",
+            f"{result.metrics['base_power']:.3f}",
+            f"{result.metrics['isv_power']:.3f}",
+            f"{result.metrics['savings']:.1%}",
         ])
     # Deeper scaling exposes more of the Vmin benefit.
     ordered = [savings_by_target[t] for t in (0.80, 0.70, 0.60)]
     assert ordered == sorted(ordered)
     assert savings_by_target[0.60] > 0.0
-
-    # The way-granularity scheme (Section 3.2.1's third option): cheap
-    # on small working sets.
-    streams = [generate_address_stream("office", 8000, seed=88)]
-    way = run_cache_study(
-        CacheConfig(name="DL0-16K-8w", size_bytes=16 * 1024, ways=8),
-        lambda: WayFixedScheme(0.5), streams,
-    )
 
     text = format_table(
         ["voltage target", "baseline power", "ISV power", "savings"],
@@ -70,6 +72,20 @@ def test_ablation_vmin_power(benchmark):
                f"{base_vmin:.3f}V -> {isv_vmin:.3f}V)"),
     )
     text += (f"\nWayFixed50% on DL0-16K (office): perf loss "
-             f"{way.mean_loss:.2%}, inverted ratio "
-             f"{way.mean_inverted_ratio:.0%}")
-    write_result("ablation_vmin_power.txt", text)
+             f"{way.metrics['mean_loss']:.2%}, inverted ratio "
+             f"{way.metrics['inverted_ratio']:.0%}")
+    from conftest import write_result
+
+    write_result(
+        "ablation_vmin_power.txt", text,
+        data={
+            "base_bias": base_bias,
+            "isv_bias": isv_bias,
+            "base_vmin": base_vmin,
+            "isv_vmin": isv_vmin,
+            "savings_by_target": {
+                f"{t:.2f}": s for t, s in savings_by_target.items()
+            },
+            "way_fixed": way.metrics,
+        },
+    )

@@ -8,8 +8,9 @@ EXPERIMENTS.md can cite the measured numbers.
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Dict, List
+from typing import Any, Dict, List, Optional
 
 import pytest
 
@@ -23,12 +24,27 @@ BENCH_TRACE_LENGTH = 6000
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
-def write_result(name: str, text: str) -> None:
-    """Persist a rendered artefact for EXPERIMENTS.md."""
+def write_result(
+    name: str, text: str, data: Optional[Dict[str, Any]] = None
+) -> None:
+    """Persist a rendered artefact for EXPERIMENTS.md.
+
+    Alongside the text artefact a machine-readable ``<stem>.json`` is
+    written (the rendered text plus whatever structured ``data`` the
+    bench hands over), so BENCH_*.json trajectories can be tracked
+    across commits without parsing ASCII tables.
+    """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, name)
     with open(path, "w") as handle:
         handle.write(text + "\n")
+    stem = os.path.splitext(name)[0]
+    payload = {"name": stem, "text": text}
+    if data is not None:
+        payload["data"] = data
+    with open(os.path.join(RESULTS_DIR, stem + ".json"), "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
     print()
     print(text)
 

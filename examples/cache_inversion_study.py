@@ -5,71 +5,77 @@ Compares the three invalidate-and-invert schemes on a DL0 configuration
 across the ten Table 1 suites, showing per-suite losses and the dynamic
 scheme's activation decisions.
 
-Run:  python examples/cache_inversion_study.py
+Driven through the experiment engine: two declarative sweeps (the fixed
+schemes at K=50%, the dynamic scheme at K=60%) expand to one point per
+(scheme, suite); pass ``--workers N`` to fan them out over processes.
+
+Run:  python examples/cache_inversion_study.py [--workers N]
 """
 
+import argparse
+
 from repro.analysis import format_table
-from repro.core.cache_like import (
-    LineDynamicScheme,
-    LineFixedScheme,
-    ProtectedCache,
-    SetFixedScheme,
-    performance_loss,
-)
-from repro.uarch.cache import Cache, CacheConfig
-from repro.workloads import generate_address_stream, suite_names
+from repro.experiments import SweepRunner, SweepSpec, group_results
+from repro.workloads import suite_names
 
-CONFIG = CacheConfig(name="DL0-16K-8w", size_bytes=16 * 1024, ways=8)
 LENGTH = 15_000
+SEED = 5
+GEOMETRY = {"size_kb": 16, "ways": 8}
+
+FIXED_SPEC = SweepSpec(
+    "caches",
+    base={"length": LENGTH, "seed": SEED, "ratio": 0.5, **GEOMETRY},
+    grid={"scheme": ["set_fixed", "line_fixed"],
+          "suite": suite_names()},
+)
+
+DYNAMIC_SPEC = SweepSpec(
+    "caches",
+    base={
+        "length": LENGTH, "seed": SEED, "ratio": 0.6,
+        "scheme": "line_dynamic", "dyn_threshold": 0.03,
+        "dyn_warmup": 1500, "dyn_test_window": 1500,
+        "dyn_period": 8000, **GEOMETRY,
+    },
+    grid={"suite": suite_names()},
+)
 
 
-def scheme_factories():
-    return {
-        "SetFixed50%": lambda: SetFixedScheme(0.5),
-        "LineFixed50%": lambda: LineFixedScheme(0.5),
-        "LineDynamic60%": lambda: LineDynamicScheme(
-            ratio=0.6, threshold=0.03,
-            warmup=1500, test_window=1500, period=8000,
-        ),
-    }
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=1)
+    args = parser.parse_args(argv)
 
+    runner = SweepRunner(store=None, workers=args.workers)
+    results = (runner.run(FIXED_SPEC).results
+               + runner.run(DYNAMIC_SPEC).results)
 
-def main() -> None:
+    by_suite = group_results(results, ["suite"])
+    scheme_columns = ["SetFixed50%", "LineFixed50%", "LineDynamic60%"]
     rows = []
     decisions = {}
-    for suite in suite_names():
-        stream = generate_address_stream(suite, length=LENGTH, seed=5)
-        baseline = Cache(CONFIG)
-        for address in stream:
-            baseline.access(address)
-        row = [suite, f"{baseline.stats.miss_rate:.2%}"]
-        for name, factory in scheme_factories().items():
-            scheme = factory()
-            protected = ProtectedCache(Cache(CONFIG), scheme)
-            for address in stream:
-                protected.access(address)
-            loss = performance_loss(
-                baseline.stats.miss_rate, protected.stats.miss_rate,
-                accesses_per_uop=0.36, effective_penalty=3.0,
-            )
-            row.append(f"{loss:.2%}")
-            if isinstance(scheme, LineDynamicScheme):
-                decisions[suite] = scheme.activation_history
-        rows.append(row)
+    for (suite,), members in by_suite.items():
+        losses = {m.metrics["scheme_name"]: m.metrics["mean_loss"]
+                  for m in members}
+        base_miss = members[0].metrics["baseline_miss_rate"]
+        rows.append([suite, f"{base_miss:.2%}"]
+                    + [f"{losses[name]:.2%}" for name in scheme_columns])
+        for member in members:
+            if "activations" in member.metrics:
+                decisions[suite] = member.metrics["activations"]
 
     print(format_table(
-        ["suite", "base miss", "SetFixed50%", "LineFixed50%",
-         "LineDynamic60%"],
+        ["suite", "base miss"] + scheme_columns,
         rows,
-        title=f"Per-suite performance loss on {CONFIG.name}",
+        title=(f"Per-suite performance loss on "
+               f"DL0-{GEOMETRY['size_kb']}K-{GEOMETRY['ways']}w"),
     ))
 
     print("\nLineDynamic60% activation decisions per test period")
-    print("(False = the self-test measured too many induced misses and")
+    print("(- = the self-test measured too many induced misses and")
     print(" disabled inversion for that period — the paper's cache-filler")
     print(" escape hatch):")
-    for suite, history in decisions.items():
-        shown = "".join("A" if d else "-" for d in history)
+    for suite, shown in decisions.items():
         print(f"  {suite:14s} {shown}")
 
 

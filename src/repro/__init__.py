@@ -10,6 +10,8 @@ Layered structure:
 - :mod:`repro.workloads` — synthetic Table 1 workload generators.
 - :mod:`repro.core` — the Penelope mechanisms and the NBTIefficiency
   metric (the paper's contribution).
+- :mod:`repro.experiments` — declarative sweeps, parallel execution
+  and the cached result store (the run-coordination layer).
 - :mod:`repro.analysis` — aggregation and report formatting.
 
 Quick start::
@@ -22,6 +24,6 @@ Quick start::
     print(report.efficiency, "vs baseline", report.baseline_efficiency)
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["__version__"]

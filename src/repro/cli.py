@@ -9,6 +9,10 @@ Examples
     python -m repro.cli regfile --suites specint2000 office
     python -m repro.cli caches --size-kb 16 --ways 8
     python -m repro.cli penelope --length 5000
+    python -m repro.cli list-suites
+    python -m repro.cli sweep caches --grid ratio=0.4,0.5,0.6 \\
+        --grid ways=4,8 --workers 4
+    python -m repro.cli results --study caches
 """
 
 from __future__ import annotations
@@ -17,6 +21,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro import __version__
 from repro.analysis import format_series, format_table
 from repro.workloads import suite_names
 
@@ -161,11 +166,149 @@ def cmd_penelope(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_list_suites(args: argparse.Namespace) -> int:
+    from repro.workloads import SUITE_PROFILES, TABLE1_TRACE_COUNTS
+
+    rows = [
+        [name, str(TABLE1_TRACE_COUNTS[name]),
+         SUITE_PROFILES[name].description]
+        for name in suite_names()
+    ]
+    rows.append(["total", str(sum(TABLE1_TRACE_COUNTS.values())), ""])
+    print(format_table(["suite", "traces", "description"], rows,
+                       title="Table 1 benchmark suites"))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        ResultStore,
+        SweepRunner,
+        SweepSpec,
+        format_summary,
+        get_study,
+        parse_grid_option,
+    )
+
+    try:
+        study = get_study(args.study)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    try:
+        grid = {}
+        for option in args.grid or []:
+            key, values = parse_grid_option(option)
+            if key in grid:
+                raise ValueError(
+                    f"grid axis {key!r} given twice; list every value "
+                    f"in one option: --grid {key}=v1,v2"
+                )
+            grid[key] = values
+        if "suite" in grid:
+            if args.suites is not None:
+                raise ValueError(
+                    "--suites conflicts with --grid suite=...; "
+                    "use one of them"
+                )
+        else:
+            grid["suite"] = list(args.suites or suite_names())
+        base = {"length": args.length, "seed": args.seed}
+        spec = SweepSpec(args.study, base=base, grid=grid)
+
+        # Group keys are fully known before execution (defaults + base
+        # + grid); rejecting typos here saves the whole sweep's compute.
+        group_by = (args.group_by.split(",") if args.group_by
+                    else spec.axis_names())
+        known_params = set(study.defaults) | set(base) | set(grid)
+        bad_keys = [k for k in group_by if k not in known_params]
+        if bad_keys:
+            raise ValueError(
+                f"unknown --group-by key(s) {', '.join(bad_keys)}; "
+                f"available: {', '.join(sorted(known_params))}"
+            )
+
+        store = None if args.no_store else ResultStore(args.store)
+        shown = [0]
+
+        def progress(result):
+            shown[0] += 1
+            tag = ("cached" if result.cached
+                   else f"{result.elapsed:6.2f}s")
+            print(f"  [{shown[0]:3d}/{spec.size}] {tag}  "
+                  f"{result.point.describe()}")
+
+        runner = SweepRunner(store=store, workers=args.workers,
+                             progress=progress if args.verbose else None)
+        print(f"sweep {args.study!r}: {spec.size} points over axes "
+              f"{', '.join(spec.axis_names())} ({args.workers} worker"
+              f"{'s' if args.workers != 1 else ''})")
+        outcome = runner.run(spec)
+    except (ValueError, KeyError) as exc:
+        # Bad grid syntax, unknown scheme value, unknown suite passed
+        # via --grid suite=..., workers < 1, ...
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+    metrics = args.metrics.split(",") if args.metrics else ()
+    if outcome.results:
+        from repro.experiments import metric_names
+
+        known_metrics = set(metric_names(outcome.results))
+        bad = [m for m in metrics if m not in known_metrics]
+        if bad:
+            print(f"error: unknown metric(s) {', '.join(bad)}; "
+                  f"available: {', '.join(sorted(known_metrics))}",
+                  file=sys.stderr)
+            return 2
+    print(format_summary(
+        outcome.results, group_by=group_by,
+        metrics=metrics,
+        agg=args.agg,
+        title=f"sweep {args.study}: {study.description}",
+    ))
+    print(f"{len(outcome)} points in {outcome.wall_time:.2f}s: "
+          f"{outcome.cache_hits} cache hits, "
+          f"{outcome.executed} executed"
+          + ("" if store else " (store disabled)"))
+    return 0
+
+
+def cmd_results(args: argparse.Namespace) -> int:
+    from repro.experiments import ResultStore
+
+    store = ResultStore(args.store)
+    records = store.records(study=args.study)
+    if args.limit > 0:
+        records = records[-args.limit:]
+    if not records:
+        print(f"no stored results in {store.path}")
+        return 0
+    rows = []
+    for record in records:
+        metrics = ", ".join(
+            f"{k}={v:.4f}" if isinstance(v, float) else f"{k}={v}"
+            for k, v in sorted(record.metrics.items())
+        )
+        params = " ".join(
+            f"{k}={v}" for k, v in sorted(record.params.items())
+        )
+        rows.append([record.key[:10], record.study, params, metrics])
+    print(format_table(
+        ["key", "study", "params", "metrics"], rows,
+        title=f"{len(records)} stored results ({store.path})",
+    ))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Penelope (MICRO 2007) reproduction studies",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     commands = parser.add_subparsers(dest="command", required=True)
 
     physics = commands.add_parser("physics", help="NBTI physics curves")
@@ -192,13 +335,71 @@ def build_parser() -> argparse.ArgumentParser:
                                    help="whole-processor study")
     _add_workload_arguments(penelope)
     penelope.set_defaults(func=cmd_penelope)
+
+    list_suites = commands.add_parser(
+        "list-suites", help="list the Table 1 benchmark suites")
+    list_suites.set_defaults(func=cmd_list_suites)
+
+    # Hardcoded (not study_names()) so `repro physics` etc. don't pay
+    # the experiments-subsystem import; a CLI test keeps it in sync.
+    sweep = commands.add_parser(
+        "sweep",
+        help="expand a parameter grid and run it through the "
+             "experiment engine",
+        epilog="registered studies: caches, invert_ratio, penelope, "
+               "regfile, victim_policy, vmin_power",
+    )
+    # Validated in cmd_sweep (not argparse choices) so a typo gets the
+    # same `error: unknown study ...` shape as other sweep errors.
+    sweep.add_argument("study", help="registered study to sweep")
+    sweep.add_argument(
+        "--grid", action="append", metavar="KEY=V1,V2",
+        help="one grid axis; repeatable (e.g. --grid ratio=0.4,0.5)",
+    )
+    sweep.add_argument(
+        "--suites", nargs="+", default=None,
+        choices=suite_names(),
+        help="suite axis of the grid (default: all Table 1 suites; "
+             "conflicts with --grid suite=...)",
+    )
+    sweep.add_argument("--length", type=int, default=6000,
+                       help="trace / address-stream length per point")
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="process count (1 = serial)")
+    sweep.add_argument("--store", default=None, metavar="PATH",
+                       help="result store path (default: "
+                            "benchmarks/results/store.jsonl)")
+    sweep.add_argument("--no-store", action="store_true",
+                       help="disable the result cache for this sweep")
+    sweep.add_argument("--group-by", default=None, metavar="K1,K2",
+                       help="summary grouping axes (default: grid axes)")
+    sweep.add_argument("--metrics", default=None, metavar="M1,M2",
+                       help="metrics to show (default: all)")
+    sweep.add_argument("--agg", default="mean",
+                       choices=("mean", "min", "max"))
+    sweep.add_argument("--verbose", action="store_true",
+                       help="print one progress line per point")
+    sweep.set_defaults(func=cmd_sweep)
+
+    results = commands.add_parser(
+        "results", help="list cached sweep results")
+    results.add_argument("--study", default=None,
+                         help="only this study's records")
+    results.add_argument("--store", default=None, metavar="PATH")
+    results.add_argument("--limit", type=int, default=0,
+                         help="show only the newest N records")
+    results.set_defaults(func=cmd_results)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        return 0  # e.g. `repro list-suites | head`
 
 
 if __name__ == "__main__":

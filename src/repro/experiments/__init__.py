@@ -1,0 +1,106 @@
+"""Experiment orchestration: declarative sweeps, parallel execution,
+and a cached result store.
+
+The paper evaluates Penelope over 531 traces and dozens of design-point
+sweeps.  This subsystem replaces the hand-rolled serial loops that used
+to live in ``cli.py``, ``benchmarks/bench_ablation_*.py`` and
+``examples/*_study.py`` with one engine:
+
+- :mod:`repro.experiments.spec` — :class:`SweepSpec` declares a study
+  name, base parameters, and grid axes; :meth:`SweepSpec.expand` takes
+  the cartesian product into :class:`ExperimentPoint` objects, each
+  with a stable content hash (``point.key``).
+- :mod:`repro.experiments.registry` — named studies (``caches``,
+  ``regfile``, ``penelope``, ``invert_ratio``, ``vmin_power``,
+  ``victim_policy``) map a point's parameters onto the existing entry
+  points (``TraceDrivenCore``, ``run_cache_study``,
+  ``PenelopeProcessor``) and return flat metric dicts.  Workloads are
+  memoised per worker so points sharing a trace only generate it once.
+- :mod:`repro.experiments.runner` — :class:`SweepRunner` consults the
+  store, then fans cache misses out over ``multiprocessing`` workers
+  (serial for ``workers=1``); results return in spec order, so
+  parallel and serial sweeps are bit-identical.
+- :mod:`repro.experiments.store` — :class:`ResultStore`, an
+  append-only JSONL cache under ``benchmarks/results/`` keyed by point
+  hash; rerunning an unchanged sweep is pure cache hits.
+- :mod:`repro.experiments.summary` — group-by/mean-min-max reduction
+  feeding :func:`repro.analysis.format_table`.
+
+Quick start::
+
+    from repro.experiments import (
+        ResultStore, SweepRunner, SweepSpec, format_summary,
+    )
+
+    spec = SweepSpec(
+        "caches",
+        base={"length": 6000, "seed": 0},
+        grid={"ratio": [0.4, 0.5, 0.6], "ways": [4, 8],
+              "suite": ["specint2000", "office"]},
+    )
+    outcome = SweepRunner(store=ResultStore(), workers=4).run(spec)
+    print(format_summary(outcome.results, group_by=["ratio", "ways"],
+                         metrics=["mean_loss", "inverted_ratio"]))
+
+or from the shell::
+
+    repro sweep caches --grid ratio=0.4,0.5,0.6 --grid ways=4,8 \\
+        --workers 4
+    repro results --study caches
+"""
+
+from repro.experiments.registry import (
+    StudyDefinition,
+    get_study,
+    register_study,
+    study_names,
+)
+from repro.experiments.runner import (
+    PointResult,
+    SweepResult,
+    SweepRunner,
+    run_sweep,
+)
+from repro.experiments.spec import (
+    ExperimentPoint,
+    SweepSpec,
+    coerce_scalar,
+    parse_grid_option,
+    point_key,
+)
+from repro.experiments.store import (
+    ResultStore,
+    StoredResult,
+    default_store_path,
+)
+from repro.experiments.summary import (
+    aggregate_metric,
+    format_summary,
+    group_results,
+    metric_names,
+    summarize,
+)
+
+__all__ = [
+    "StudyDefinition",
+    "get_study",
+    "register_study",
+    "study_names",
+    "PointResult",
+    "SweepResult",
+    "SweepRunner",
+    "run_sweep",
+    "ExperimentPoint",
+    "SweepSpec",
+    "coerce_scalar",
+    "parse_grid_option",
+    "point_key",
+    "ResultStore",
+    "StoredResult",
+    "default_store_path",
+    "aggregate_metric",
+    "format_summary",
+    "group_results",
+    "metric_names",
+    "summarize",
+]

@@ -1,0 +1,412 @@
+"""Named study factories: map an experiment point to measurements.
+
+Each study is a module-level function (picklable, so sweeps can fan out
+over ``multiprocessing`` workers) that takes the point's parameter dict
+and returns a flat dict of JSON-serialisable metrics.  Studies wrap the
+repo's existing entry points — :class:`~repro.uarch.core.TraceDrivenCore`,
+:func:`~repro.core.cache_like.run_cache_study`, and
+:class:`~repro.core.penelope.PenelopeProcessor` — they add no modelling
+of their own.
+
+Generated traces and address streams are memoised per worker process
+(:func:`cached_trace` / :func:`cached_address_stream`), so points that
+share a workload axis only pay generation once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Tuple
+
+from repro.core.cache_like import LineFixedScheme as _LineFixedScheme
+from repro.workloads import suite_names
+
+# ----------------------------------------------------------------------
+# Per-worker workload caches
+# ----------------------------------------------------------------------
+_CACHE_CAP = 32
+
+_TRACE_CACHE: Dict[Tuple[str, int, int], Any] = {}
+_STREAM_CACHE: Dict[Tuple[str, int, int], Any] = {}
+_RF_BIAS_CACHE: Dict[Tuple[str, int, int, float], Tuple[float, float, float]] = {}
+
+
+def _evict(cache: Dict) -> None:
+    while len(cache) > _CACHE_CAP:
+        cache.pop(next(iter(cache)))
+
+
+def cached_trace(suite: str, length: int, seed: int):
+    """One generated trace per (suite, length, seed) per worker."""
+    from repro.workloads import TraceGenerator
+
+    key = (suite, length, seed)
+    if key not in _TRACE_CACHE:
+        _TRACE_CACHE[key] = TraceGenerator(seed=seed).generate(
+            suite, length=length
+        )
+        _evict(_TRACE_CACHE)
+    return _TRACE_CACHE[key]
+
+
+def cached_address_stream(suite: str, length: int, seed: int):
+    """One generated address stream per (suite, length, seed) per worker."""
+    from repro.workloads import generate_address_stream
+
+    key = (suite, length, seed)
+    if key not in _STREAM_CACHE:
+        _STREAM_CACHE[key] = generate_address_stream(
+            suite, length=length, seed=seed
+        )
+        _evict(_STREAM_CACHE)
+    return _STREAM_CACHE[key]
+
+
+def cached_rf_biases(
+    suite: str, length: int, seed: int, sample_period: float
+) -> Tuple[float, float, float]:
+    """(baseline bias, ISV bias, free fraction) of the INT register file.
+
+    Memoised because several studies (``regfile``, ``vmin_power``) sweep
+    knobs that do not change the core runs themselves.
+    """
+    from repro.core.memory_like import ISVRegisterFileProtector
+    from repro.uarch import TraceDrivenCore
+    from repro.uarch.uop import INT_WIDTH
+
+    key = (suite, length, seed, sample_period)
+    if key not in _RF_BIAS_CACHE:
+        trace = cached_trace(suite, length, seed)
+        base = TraceDrivenCore().run(trace)
+        protector = ISVRegisterFileProtector("int_rf", INT_WIDTH,
+                                             sample_period)
+        prot = TraceDrivenCore(hooks=protector).run(trace)
+        _RF_BIAS_CACHE[key] = (
+            base.int_rf.worst_bias,
+            prot.int_rf.worst_bias,
+            base.int_rf.free_fraction,
+        )
+        _evict(_RF_BIAS_CACHE)
+    return _RF_BIAS_CACHE[key]
+
+
+def _suite_index(suite: str) -> int:
+    names = suite_names()
+    return names.index(suite) if suite in names else 0
+
+
+# ----------------------------------------------------------------------
+# Study registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StudyDefinition:
+    """A named, parameterised experiment."""
+
+    name: str
+    description: str
+    defaults: Mapping[str, Any]
+    run: Callable[[Mapping[str, Any]], Dict[str, Any]]
+
+    def bind(self, params: Mapping[str, Any]) -> Dict[str, Any]:
+        bound = dict(self.defaults)
+        bound.update(params)
+        return bound
+
+    def execute(self, params: Mapping[str, Any]) -> Dict[str, Any]:
+        return self.run(self.bind(params))
+
+
+_STUDIES: Dict[str, StudyDefinition] = {}
+
+
+def register_study(
+    name: str, description: str, defaults: Mapping[str, Any]
+) -> Callable:
+    def wrap(func: Callable) -> Callable:
+        _STUDIES[name] = StudyDefinition(
+            name=name, description=description,
+            defaults=dict(defaults), run=func,
+        )
+        return func
+    return wrap
+
+
+def get_study(name: str) -> StudyDefinition:
+    try:
+        return _STUDIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown study {name!r}; available: "
+            f"{', '.join(study_names())}"
+        ) from None
+
+
+def study_names() -> List[str]:
+    return sorted(_STUDIES)
+
+
+# ----------------------------------------------------------------------
+# Cache-like studies
+# ----------------------------------------------------------------------
+def _cache_config(params: Mapping[str, Any]):
+    from repro.uarch.cache import CacheConfig
+
+    size_kb = int(params["size_kb"])
+    ways = int(params["ways"])
+    return CacheConfig(
+        name=f"DL0-{size_kb}K-{ways}w",
+        size_bytes=size_kb * 1024,
+        ways=ways,
+    )
+
+
+def _scheme_factory(params: Mapping[str, Any], created: List[Any]):
+    """Zero-arg factory for the requested scheme; records instances."""
+    from repro.core.cache_like import (
+        LineDynamicScheme,
+        LineFixedScheme,
+        SetFixedScheme,
+        WayFixedScheme,
+    )
+
+    scheme = params["scheme"]
+    ratio = float(params["ratio"])
+    builders = {
+        "set_fixed": lambda: SetFixedScheme(ratio),
+        "way_fixed": lambda: WayFixedScheme(ratio),
+        "line_fixed": lambda: LineFixedScheme(ratio),
+        "line_dynamic": lambda: LineDynamicScheme(
+            ratio=ratio,
+            threshold=float(params["dyn_threshold"]),
+            warmup=int(params["dyn_warmup"]),
+            test_window=int(params["dyn_test_window"]),
+            period=int(params["dyn_period"]),
+        ),
+    }
+    if scheme not in builders:
+        raise ValueError(
+            f"unknown scheme {scheme!r}; choose from "
+            f"{', '.join(sorted(builders))}"
+        )
+
+    def factory():
+        instance = builders[scheme]()
+        created.append(instance)
+        return instance
+
+    return factory
+
+
+@register_study(
+    "caches",
+    "invalidate-and-invert scheme on one DL0 config and suite (Table 3)",
+    defaults={
+        "suite": "specint2000",
+        "length": 6000,
+        "seed": 0,
+        "size_kb": 16,
+        "ways": 8,
+        "scheme": "line_fixed",
+        "ratio": 0.5,
+        "dyn_threshold": 0.02,
+        "dyn_warmup": 1000,
+        "dyn_test_window": 1000,
+        "dyn_period": 6000,
+    },
+)
+def run_caches_point(params: Mapping[str, Any]) -> Dict[str, Any]:
+    from repro.core.cache_like import run_cache_study
+
+    created: List[Any] = []
+    stream = cached_address_stream(
+        params["suite"], int(params["length"]), int(params["seed"])
+    )
+    study = run_cache_study(
+        _cache_config(params),
+        _scheme_factory(params, created),
+        [stream],
+        seed=int(params["seed"]) + _suite_index(params["suite"]),
+    )
+    metrics: Dict[str, Any] = {
+        "scheme_name": study.scheme_name,
+        "mean_loss": study.mean_loss,
+        "inverted_ratio": study.mean_inverted_ratio,
+        "baseline_miss_rate": study.baseline_miss_rate,
+        "scheme_miss_rate": study.scheme_miss_rate,
+    }
+    if created and hasattr(created[-1], "activation_history"):
+        metrics["activations"] = "".join(
+            "A" if d else "-" for d in created[-1].activation_history
+        )
+    return metrics
+
+
+@register_study(
+    "invert_ratio",
+    "LineFixed invert-ratio sweep: capacity loss vs achieved balance",
+    defaults={
+        "suite": "specint2000",
+        "length": 10_000,
+        "seed": 55,
+        "size_kb": 16,
+        "ways": 8,
+        "ratio": 0.5,
+        "data_bias": 0.9,
+    },
+)
+def run_invert_ratio_point(params: Mapping[str, Any]) -> Dict[str, Any]:
+    metrics = run_caches_point({**params, "scheme": "line_fixed"})
+    achieved = metrics["inverted_ratio"]
+    bias = float(params["data_bias"])
+    # Steady-state worst-cell bias when a fraction `achieved` of cells
+    # holds inverted (complementary) contents of `bias`-biased data.
+    metrics["expected_bias"] = (
+        bias * (1.0 - achieved) + (1.0 - bias) * achieved
+    )
+    return metrics
+
+
+@register_study(
+    "victim_policy",
+    "LRU-position vs any-position inversion victims (Section 3.2.1)",
+    defaults={
+        "suite": "specint2000",
+        "length": 10_000,
+        "seed": 99,
+        "size_kb": 16,
+        "ways": 8,
+        "ratio": 0.5,
+    },
+)
+def run_victim_policy_point(params: Mapping[str, Any]) -> Dict[str, Any]:
+    from repro.core.cache_like import LineFixedScheme, run_cache_study
+    from repro.uarch.cache import Cache
+
+    config = _cache_config(params)
+    stream = cached_address_stream(
+        params["suite"], int(params["length"]), int(params["seed"])
+    )
+    seed = int(params["seed"]) + _suite_index(params["suite"])
+    ratio = float(params["ratio"])
+    lru = run_cache_study(config, lambda: LineFixedScheme(ratio),
+                          [stream], seed=seed)
+    naive = run_cache_study(config,
+                            lambda: AnyPositionLineFixedScheme(ratio),
+                            [stream], seed=seed)
+    baseline = Cache(config)
+    for address in stream:
+        baseline.access(address)
+    return {
+        "lru_loss": lru.mean_loss,
+        "naive_loss": naive.mean_loss,
+        "mru_hit_fraction": baseline.stats.mru_hit_fraction(0),
+        "mru1_hit_fraction": baseline.stats.mru_hit_fraction(1),
+    }
+
+
+class AnyPositionLineFixedScheme(_LineFixedScheme):
+    """Naive ablation variant: inverts a random valid way, any position."""
+
+    def __init__(self, ratio: float = 0.5):
+        super().__init__(ratio)
+        self.name = f"AnyPosition{int(round(ratio * 100))}%"
+
+    def maintain(self):
+        if self.cache.inverted_count() < self.threshold:
+            set_index = self.rng.randrange(self.cache.config.sets)
+            valid = self.cache.valid_ways(set_index)
+            if valid:
+                self.cache.invert_line(set_index, self.rng.choice(valid))
+
+
+# ----------------------------------------------------------------------
+# Memory-like studies
+# ----------------------------------------------------------------------
+@register_study(
+    "regfile",
+    "register-file ISV study: worst bit-cell bias with/without ISV",
+    defaults={
+        "suite": "specint2000",
+        "length": 5000,
+        "seed": 0,
+        "sample_period": 512.0,
+    },
+)
+def run_regfile_point(params: Mapping[str, Any]) -> Dict[str, Any]:
+    base_bias, isv_bias, free_fraction = cached_rf_biases(
+        params["suite"], int(params["length"]), int(params["seed"]),
+        float(params["sample_period"]),
+    )
+    return {
+        "base_worst_bias": base_bias,
+        "isv_worst_bias": isv_bias,
+        "free_fraction": free_fraction,
+    }
+
+
+@register_study(
+    "vmin_power",
+    "Vmin/power benefit of ISV balancing at one voltage target",
+    defaults={
+        "suite": "specint2000",
+        "length": 8000,
+        "seed": 88,
+        "sample_period": 512.0,
+        "target": 0.70,
+    },
+)
+def run_vmin_power_point(params: Mapping[str, Any]) -> Dict[str, Any]:
+    from repro.nbti.power import ArrayPowerModel
+
+    base_bias, isv_bias, __ = cached_rf_biases(
+        params["suite"], int(params["length"]), int(params["seed"]),
+        float(params["sample_period"]),
+    )
+    model = ArrayPowerModel()
+    target = float(params["target"])
+    return {
+        "base_bias": base_bias,
+        "isv_bias": isv_bias,
+        "base_vmin": model.vmin(base_bias),
+        "isv_vmin": model.vmin(isv_bias),
+        "base_power": model.power_at_scaled_voltage(base_bias, target),
+        "isv_power": model.power_at_scaled_voltage(isv_bias, target),
+        "savings": model.savings_from_balancing(base_bias, isv_bias,
+                                                target),
+    }
+
+
+# ----------------------------------------------------------------------
+# Whole-processor study
+# ----------------------------------------------------------------------
+@register_study(
+    "penelope",
+    "whole-processor Penelope run: NBTIefficiency vs full guardband",
+    defaults={
+        "suite": "specint2000",
+        "length": 5000,
+        "seed": 0,
+        "invert_ratio": 0.5,
+        "sample_period": 512.0,
+    },
+)
+def run_penelope_point(params: Mapping[str, Any]) -> Dict[str, Any]:
+    from repro.core import PenelopeProcessor
+
+    trace = cached_trace(
+        params["suite"], int(params["length"]), int(params["seed"])
+    )
+    processor = PenelopeProcessor(
+        invert_ratio=float(params["invert_ratio"]),
+        sample_period=float(params["sample_period"]),
+        seed=int(params["seed"]),
+    )
+    report = processor.evaluate([trace])
+    return {
+        "efficiency": report.efficiency,
+        "baseline_efficiency": report.baseline_efficiency,
+        "combined_cpi": report.combined_cpi,
+        "adder_guardband": report.adder_guardband,
+        "int_rf_base_bias": report.int_rf_bias[0],
+        "int_rf_isv_bias": report.int_rf_bias[1],
+    }

@@ -1,0 +1,216 @@
+"""Sweep execution: cache lookup, then serial or multiprocessing fan-out.
+
+The runner expands a :class:`~repro.experiments.spec.SweepSpec`, checks
+each point against the :class:`~repro.experiments.store.ResultStore`,
+and executes only the misses — serially for ``workers=1``, over a
+``multiprocessing`` pool otherwise.  Results come back in spec order
+regardless of completion order, so parallel and serial sweeps produce
+identical output (a property the test suite asserts).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.experiments.registry import get_study
+from repro.experiments.spec import ExperimentPoint, SweepSpec
+from repro.experiments.store import ResultStore
+
+
+def execute_point(point: ExperimentPoint) -> Tuple[str, Dict[str, Any], float]:
+    """Run one point; module-level so worker pools can pickle it."""
+    started = time.perf_counter()
+    metrics = get_study(point.study).execute(point.as_dict())
+    return point.key, metrics, time.perf_counter() - started
+
+
+def _execute_indexed(
+    task: Tuple[int, ExperimentPoint],
+) -> Tuple[int, Dict[str, Any], float]:
+    """Pool task keyed by slot index, so duplicate points (identical
+    content hash) still fill distinct result slots."""
+    index, point = task
+    __, metrics, elapsed = execute_point(point)
+    return index, metrics, elapsed
+
+
+@dataclass
+class PointResult:
+    """Outcome of one design point within a sweep."""
+
+    point: ExperimentPoint
+    metrics: Dict[str, Any]
+    cached: bool
+    elapsed: float
+
+    @property
+    def params(self) -> Dict[str, Any]:
+        return self.point.as_dict()
+
+    def value(self, name: str, default: Any = None) -> Any:
+        return self.metrics.get(name, default)
+
+
+@dataclass
+class SweepResult:
+    """All point results of one sweep, in spec expansion order."""
+
+    spec: SweepSpec
+    results: List[PointResult] = field(default_factory=list)
+    wall_time: float = 0.0
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.results if r.cached)
+
+    @property
+    def executed(self) -> int:
+        return len(self.results) - self.cache_hits
+
+    def metrics_by_key(self) -> Dict[str, Dict[str, Any]]:
+        return {r.point.key: r.metrics for r in self.results}
+
+
+class SweepRunner:
+    """Fans a sweep out over workers, short-circuiting cached points.
+
+    Parameters
+    ----------
+    store:
+        Result cache; ``None`` disables caching entirely (every point
+        executes — what benchmarks want so timings stay honest).
+    workers:
+        Process count.  ``1`` runs in-process; higher counts use a
+        ``multiprocessing`` pool and fall back to serial execution when
+        the platform cannot start one.
+    progress:
+        Optional callback invoked with each finished
+        :class:`PointResult` (CLI progress lines).
+    """
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        workers: int = 1,
+        progress: Optional[Callable[[PointResult], None]] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.store = store
+        self.workers = workers
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+    def run(self, spec: SweepSpec) -> SweepResult:
+        started = time.perf_counter()
+        # Bind the study's defaults into every point before hashing:
+        # the cache key must cover the *full* parameterisation of the
+        # computation, or a later change to a registry default would
+        # silently serve stale results.  Binding also unifies the keys
+        # of explicit and defaulted spellings of the same point.
+        study = get_study(spec.study)
+        # Every study parametrizes exclusively through its defaults, so
+        # a key outside them is a typo that would otherwise produce a
+        # grid of byte-identical points presented as a real sweep.
+        unknown = (set(spec.base) | set(spec.grid)) - set(study.defaults)
+        if unknown:
+            raise ValueError(
+                f"unknown parameter(s) for study {spec.study!r}: "
+                f"{', '.join(sorted(unknown))}; known: "
+                f"{', '.join(sorted(study.defaults))}"
+            )
+        points = [
+            ExperimentPoint.from_dict(spec.study,
+                                      study.bind(p.as_dict()))
+            for p in spec.iter_points()
+        ]
+        slots: List[Optional[PointResult]] = [None] * len(points)
+        pending: List[Tuple[int, ExperimentPoint]] = []
+
+        for index, point in enumerate(points):
+            record = self.store.get_point(point) if self.store else None
+            if record is not None:
+                slots[index] = PointResult(
+                    point=point, metrics=dict(record.metrics),
+                    cached=True, elapsed=record.elapsed,
+                )
+                self._report(slots[index])
+            else:
+                pending.append((index, point))
+
+        if pending:
+            for index, result in self._execute(pending):
+                slots[index] = result
+                if self.store is not None:
+                    self.store.put(result.point, result.metrics,
+                                   result.elapsed)
+                self._report(result)
+
+        assert all(slot is not None for slot in slots)
+        return SweepResult(
+            spec=spec,
+            results=[slot for slot in slots if slot is not None],
+            wall_time=time.perf_counter() - started,
+        )
+
+    # ------------------------------------------------------------------
+    def _report(self, result: PointResult) -> None:
+        if self.progress is not None:
+            self.progress(result)
+
+    def _execute(self, pending):
+        pool = None
+        if self.workers > 1 and len(pending) > 1:
+            # Only pool *creation* is allowed to fall back to serial
+            # (sandboxes/platforms without process support).  A failure
+            # mid-iteration must propagate: falling back then would
+            # re-execute points the pool already yielded, duplicating
+            # store writes and progress reports.
+            try:
+                pool = multiprocessing.Pool(
+                    processes=min(self.workers, len(pending))
+                )
+            except (OSError, ImportError, PermissionError):
+                pool = None
+        if pool is None:
+            yield from self._execute_serial(pending)
+            return
+        with pool:
+            yield from self._execute_pool(pool, pending)
+
+    def _execute_serial(self, pending):
+        for index, point in pending:
+            key, metrics, elapsed = execute_point(point)
+            assert key == point.key
+            yield index, PointResult(point=point, metrics=metrics,
+                                     cached=False, elapsed=elapsed)
+
+    def _execute_pool(self, pool, pending):
+        point_by_index = dict(pending)
+        for index, metrics, elapsed in pool.imap_unordered(
+            _execute_indexed, list(pending)
+        ):
+            yield index, PointResult(
+                point=point_by_index[index], metrics=metrics,
+                cached=False, elapsed=elapsed,
+            )
+
+
+def run_sweep(
+    spec: SweepSpec,
+    store: Optional[ResultStore] = None,
+    workers: int = 1,
+    progress: Optional[Callable[[PointResult], None]] = None,
+) -> SweepResult:
+    """One-call convenience wrapper around :class:`SweepRunner`."""
+    return SweepRunner(store=store, workers=workers,
+                       progress=progress).run(spec)

@@ -1,0 +1,152 @@
+"""JSONL-backed result store keyed by experiment-point hash.
+
+Each line is one self-contained record::
+
+    {"key": "...", "study": "caches", "params": {...},
+     "metrics": {...}, "elapsed": 0.12, "created": 1690000000.0}
+
+Appending is the only write operation, so concurrent sweeps at worst
+duplicate a record; :meth:`ResultStore.load` keeps the *last* record
+per key, making reruns idempotent.  The default location is
+``benchmarks/results/store.jsonl`` next to the benchmark artefacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Mapping, Optional
+
+from repro.experiments.spec import ExperimentPoint, canonical_json
+
+
+def default_store_path() -> str:
+    """``benchmarks/results/store.jsonl`` anchored at the repo root.
+
+    Falls back to the current working directory when the package is
+    installed outside a checkout (no ``benchmarks/`` sibling).
+    """
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    candidate = os.path.join(root, "benchmarks")
+    if not os.path.isdir(candidate):
+        candidate = os.path.join(os.getcwd(), "benchmarks")
+    return os.path.join(candidate, "results", "store.jsonl")
+
+
+@dataclass
+class StoredResult:
+    """One cached design-point outcome."""
+
+    key: str
+    study: str
+    params: Dict[str, Any]
+    metrics: Dict[str, Any]
+    elapsed: float = 0.0
+    created: float = field(default_factory=time.time)
+
+    def to_json(self) -> str:
+        return canonical_json({
+            "key": self.key,
+            "study": self.study,
+            "params": self.params,
+            "metrics": self.metrics,
+            "elapsed": self.elapsed,
+            "created": self.created,
+        })
+
+    @classmethod
+    def from_json(cls, line: str) -> "StoredResult":
+        payload = json.loads(line)
+        return cls(
+            key=payload["key"],
+            study=payload["study"],
+            params=payload.get("params", {}),
+            metrics=payload.get("metrics", {}),
+            elapsed=payload.get("elapsed", 0.0),
+            created=payload.get("created", 0.0),
+        )
+
+
+class ResultStore:
+    """Append-only JSONL store with an in-memory last-wins index."""
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = path or default_store_path()
+        self._index: Dict[str, StoredResult] = {}
+        self.load()
+
+    # -- reading --------------------------------------------------------
+    def load(self) -> None:
+        """(Re)build the index from disk; corrupt lines are skipped."""
+        self._index.clear()
+        if not os.path.exists(self.path):
+            return
+        with open(self.path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = StoredResult.from_json(line)
+                except (ValueError, KeyError, TypeError):
+                    # ValueError: not JSON; KeyError: missing field;
+                    # TypeError: JSON but not an object (e.g. `null`).
+                    continue
+                self._index[record.key] = record
+
+    def get(self, key: str) -> Optional[StoredResult]:
+        return self._index.get(key)
+
+    def get_point(self, point: ExperimentPoint) -> Optional[StoredResult]:
+        return self.get(point.key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __iter__(self) -> Iterator[StoredResult]:
+        return iter(self._index.values())
+
+    def records(self, study: Optional[str] = None) -> List[StoredResult]:
+        found = [r for r in self._index.values()
+                 if study is None or r.study == study]
+        return sorted(found, key=lambda r: r.created)
+
+    # -- writing --------------------------------------------------------
+    def put(
+        self,
+        point: ExperimentPoint,
+        metrics: Mapping[str, Any],
+        elapsed: float = 0.0,
+    ) -> StoredResult:
+        record = StoredResult(
+            key=point.key,
+            study=point.study,
+            params=_plain(point.as_dict()),
+            metrics=dict(metrics),
+            elapsed=elapsed,
+        )
+        os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+        with open(self.path, "a") as handle:
+            handle.write(record.to_json() + "\n")
+        self._index[record.key] = record
+        return record
+
+    def clear(self) -> None:
+        """Drop every record (index and file)."""
+        self._index.clear()
+        if os.path.exists(self.path):
+            os.remove(self.path)
+
+
+def _plain(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """Tuples -> lists so params survive the JSON round-trip unchanged."""
+    out: Dict[str, Any] = {}
+    for key, value in params.items():
+        out[key] = list(value) if isinstance(value, tuple) else value
+    return out

@@ -1,0 +1,105 @@
+"""Aggregation of sweep results into tables.
+
+Groups point results by one or more parameter axes, reduces each metric
+with mean/min/max, and renders through
+:func:`repro.analysis.format_table` so sweep output matches the rest of
+the repo's artefacts.  Non-numeric metrics (e.g. the ``line_dynamic``
+activation string) pass through when a group holds one point and are
+skipped otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from repro.analysis import format_table
+from repro.experiments.runner import PointResult
+
+AGGREGATORS = {
+    "mean": lambda values: sum(values) / len(values),
+    "min": min,
+    "max": max,
+}
+
+
+def group_results(
+    results: Iterable[PointResult],
+    keys: Sequence[str],
+) -> "Dict[Tuple[Any, ...], List[PointResult]]":
+    """Group results by the values of ``keys``, insertion-ordered."""
+    groups: Dict[Tuple[Any, ...], List[PointResult]] = {}
+    for result in results:
+        params = result.params
+        group = tuple(params.get(key) for key in keys)
+        groups.setdefault(group, []).append(result)
+    return groups
+
+
+def aggregate_metric(
+    results: Sequence[PointResult],
+    metric: str,
+    agg: str = "mean",
+) -> Any:
+    """Reduce one metric over a group; None when absent/non-numeric."""
+    if agg not in AGGREGATORS:
+        raise ValueError(
+            f"unknown aggregator {agg!r}; choose from "
+            f"{', '.join(sorted(AGGREGATORS))}"
+        )
+    values = [r.metrics[metric] for r in results if metric in r.metrics]
+    if not values:
+        return None
+    if any(isinstance(v, bool) or not isinstance(v, (int, float))
+           for v in values):
+        return values[0] if len(values) == 1 else None
+    return AGGREGATORS[agg](values)
+
+
+def metric_names(results: Iterable[PointResult]) -> List[str]:
+    """Every metric seen across the results, sorted (cached records
+    round-trip through JSON with sorted keys, so sorting keeps fresh
+    and cached sweeps rendering identical tables)."""
+    seen = {name for result in results for name in result.metrics}
+    return sorted(seen)
+
+
+def summarize(
+    results: Sequence[PointResult],
+    group_by: Sequence[str],
+    metrics: Sequence[str] = (),
+    agg: str = "mean",
+) -> Tuple[List[str], List[List[Any]]]:
+    """(headers, rows) of aggregated metrics per parameter group."""
+    chosen = list(metrics) or metric_names(results)
+    headers = list(group_by) + [
+        m if agg == "mean" else f"{agg} {m}" for m in chosen
+    ]
+    rows: List[List[Any]] = []
+    for group, members in group_results(results, group_by).items():
+        row: List[Any] = list(group)
+        for metric in chosen:
+            row.append(aggregate_metric(members, metric, agg))
+        rows.append(row)
+    return headers, rows
+
+
+def format_summary(
+    results: Sequence[PointResult],
+    group_by: Sequence[str],
+    metrics: Sequence[str] = (),
+    agg: str = "mean",
+    title: str = "",
+    float_format: str = "{:.4f}",
+) -> str:
+    """Render an aggregated sweep table (via ``analysis.format_table``)."""
+    headers, rows = summarize(results, group_by, metrics, agg)
+    shown = [
+        [
+            float_format.format(cell)
+            if isinstance(cell, float) else
+            ("" if cell is None else cell)
+            for cell in row
+        ]
+        for row in rows
+    ]
+    return format_table(headers, shown, title=title)

@@ -8,13 +8,18 @@ from repro.cli import build_parser, main
 class TestParser:
     def test_all_commands_registered(self):
         parser = build_parser()
-        for command in ("physics", "adder", "regfile", "caches",
-                        "penelope"):
-            args = parser.parse_args(
-                [command] if command in ("physics",)
-                else [command, "--length", "100"]
-                if command != "adder" else [command]
-            )
+        invocations = {
+            "physics": ["physics"],
+            "adder": ["adder"],
+            "regfile": ["regfile", "--length", "100"],
+            "caches": ["caches", "--length", "100"],
+            "penelope": ["penelope", "--length", "100"],
+            "list-suites": ["list-suites"],
+            "sweep": ["sweep", "caches"],
+            "results": ["results"],
+        }
+        for argv in invocations.values():
+            args = parser.parse_args(argv)
             assert callable(args.func)
 
     def test_requires_command(self):
@@ -56,3 +61,80 @@ class TestCommands:
                      "--length", "800"]) == 0
         out = capsys.readouterr().out
         assert "penelope processor" in out
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_list_suites(self, capsys):
+        assert main(["list-suites"]) == 0
+        out = capsys.readouterr().out
+        for name in ("specint2000", "office", "server"):
+            assert name in out
+        assert "531" in out  # Table 1 total trace count
+
+    def test_sweep_and_results(self, capsys, tmp_path):
+        store = str(tmp_path / "store.jsonl")
+        argv = ["sweep", "caches", "--grid", "ratio=0.4,0.6",
+                "--suites", "office", "kernels", "--length", "600",
+                "--store", store, "--verbose"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "4 points" in out
+        assert "0 cache hits, 4 executed" in out
+        assert "mean_loss" in out
+
+        # Immediate rerun: every point comes from the result store.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "4 cache hits, 0 executed" in out
+
+        assert main(["results", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "4 stored results" in out
+        assert "suite=office" in out
+
+        assert main(["results", "--store", store, "--study",
+                     "regfile"]) == 0
+        assert "no stored results" in capsys.readouterr().out
+
+    def test_sweep_help_epilog_in_sync_with_registry(self, capsys):
+        from repro.experiments import study_names
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for name in study_names():
+            assert name in out
+
+    def test_sweep_unknown_study(self, capsys):
+        assert main(["sweep", "bogus", "--suites", "office",
+                     "--no-store"]) == 2
+        assert "unknown study" in capsys.readouterr().err
+
+    def test_sweep_bad_inputs_exit_cleanly(self, capsys):
+        cases = [
+            ["sweep", "caches", "--grid", "noequals", "--no-store"],
+            ["sweep", "caches", "--grid", "ratio=", "--no-store"],
+            ["sweep", "caches", "--grid", "suite=bogus", "--no-store"],
+            ["sweep", "caches", "--grid", "scheme=bogus", "--length",
+             "300", "--suites", "office", "--no-store"],
+            ["sweep", "caches", "--workers", "0", "--suites", "office",
+             "--no-store"],
+            ["sweep", "caches", "--grid", "ratio=0.4", "--grid",
+             "ratio=0.6", "--no-store"],
+            ["sweep", "caches", "--grid", "suite=office", "--suites",
+             "kernels", "--no-store"],
+            ["sweep", "caches", "--suites", "office", "--length",
+             "300", "--no-store", "--group-by", "ratoi"],
+            ["sweep", "caches", "--suites", "office", "--length",
+             "300", "--no-store", "--metrics", "mean_losss"],
+            ["sweep", "caches", "--grid", "ratoi=0.4,0.6", "--suites",
+             "office", "--no-store"],
+        ]
+        for argv in cases:
+            assert main(argv) == 2, argv
+            assert "error:" in capsys.readouterr().err, argv

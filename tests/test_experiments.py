@@ -1,0 +1,285 @@
+"""Tests for the experiment orchestration engine."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import (
+    ExperimentPoint,
+    ResultStore,
+    SweepRunner,
+    SweepSpec,
+    aggregate_metric,
+    coerce_scalar,
+    format_summary,
+    get_study,
+    group_results,
+    metric_names,
+    parse_grid_option,
+    point_key,
+    run_sweep,
+    study_names,
+    summarize,
+)
+
+#: A grid small enough to execute many times per test run.
+TINY_BASE = {"length": 600, "seed": 3}
+TINY_GRID = {"ratio": [0.4, 0.6], "suite": ["office", "kernels"]}
+
+
+def tiny_spec():
+    return SweepSpec("caches", base=dict(TINY_BASE),
+                     grid={k: list(v) for k, v in TINY_GRID.items()})
+
+
+class TestSpec:
+    def test_expansion_is_cartesian_product(self):
+        spec = tiny_spec()
+        points = spec.expand()
+        assert len(points) == spec.size == 4
+        combos = {(p.as_dict()["ratio"], p.as_dict()["suite"])
+                  for p in points}
+        assert combos == {(0.4, "office"), (0.4, "kernels"),
+                          (0.6, "office"), (0.6, "kernels")}
+        for point in points:
+            assert point.as_dict()["length"] == 600
+
+    def test_expansion_is_deterministic(self):
+        first = [p.key for p in tiny_spec().expand()]
+        second = [p.key for p in tiny_spec().expand()]
+        assert first == second
+
+    def test_key_ignores_param_order(self):
+        a = ExperimentPoint.from_dict("caches", {"x": 1, "y": 2})
+        b = ExperimentPoint.from_dict("caches", {"y": 2, "x": 1})
+        assert a.key == b.key
+        assert point_key("caches", {"y": 2, "x": 1}) == a.key
+
+    def test_key_distinguishes_params_and_study(self):
+        a = ExperimentPoint.from_dict("caches", {"x": 1})
+        b = ExperimentPoint.from_dict("caches", {"x": 2})
+        c = ExperimentPoint.from_dict("regfile", {"x": 1})
+        assert len({a.key, b.key, c.key}) == 3
+
+    def test_rejects_empty_axis_and_unserialisable_param(self):
+        with pytest.raises(ValueError):
+            SweepSpec("caches", grid={"ratio": []})
+        with pytest.raises(TypeError):
+            point_key("caches", {"bad": object()})
+
+    def test_grid_option_parsing(self):
+        assert parse_grid_option("ways=4,8") == ("ways", [4, 8])
+        assert parse_grid_option("ratio=0.4,0.5") == ("ratio",
+                                                      [0.4, 0.5])
+        key, values = parse_grid_option("scheme=line_fixed,set_fixed")
+        assert values == ["line_fixed", "set_fixed"]
+        assert coerce_scalar("true") is True
+        assert coerce_scalar("7") == 7
+        with pytest.raises(ValueError):
+            parse_grid_option("no-equals")
+        with pytest.raises(ValueError):
+            parse_grid_option("empty=")
+
+
+class TestStore:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        store = ResultStore(path)
+        point = ExperimentPoint.from_dict("caches", {"ratio": 0.5})
+        store.put(point, {"mean_loss": 0.01}, elapsed=0.5)
+        assert point.key in store
+        assert store.get_point(point).metrics == {"mean_loss": 0.01}
+
+        reloaded = ResultStore(path)
+        assert len(reloaded) == 1
+        record = reloaded.get(point.key)
+        assert record.metrics == {"mean_loss": 0.01}
+        assert record.params == {"ratio": 0.5}
+        assert record.elapsed == 0.5
+
+    def test_last_record_wins(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        store = ResultStore(path)
+        point = ExperimentPoint.from_dict("caches", {"ratio": 0.5})
+        store.put(point, {"mean_loss": 0.01})
+        store.put(point, {"mean_loss": 0.02})
+        assert len(store) == 1
+        assert ResultStore(path).get(point.key).metrics == {
+            "mean_loss": 0.02
+        }
+
+    def test_skips_corrupt_lines(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        store = ResultStore(path)
+        point = ExperimentPoint.from_dict("caches", {"ratio": 0.5})
+        store.put(point, {"mean_loss": 0.01})
+        with open(path, "a") as handle:
+            # Not JSON; JSON non-objects; object missing "key".
+            handle.write("not json\nnull\n123\n{}\n")
+        assert len(ResultStore(path)) == 1
+
+    def test_clear(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        store = ResultStore(path)
+        store.put(ExperimentPoint.from_dict("caches", {}), {"m": 1.0})
+        store.clear()
+        assert len(store) == 0
+        assert not os.path.exists(path)
+
+
+class TestRunner:
+    def test_cache_hits_on_rerun(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store.jsonl"))
+        first = SweepRunner(store=store, workers=1).run(tiny_spec())
+        assert first.executed == 4 and first.cache_hits == 0
+
+        rerun = SweepRunner(
+            store=ResultStore(str(tmp_path / "store.jsonl")), workers=1
+        ).run(tiny_spec())
+        assert rerun.cache_hits == 4 and rerun.executed == 0
+        assert rerun.metrics_by_key() == first.metrics_by_key()
+
+    def test_parallel_equals_serial(self):
+        serial = SweepRunner(store=None, workers=1).run(tiny_spec())
+        parallel = SweepRunner(store=None, workers=2).run(tiny_spec())
+        assert len(serial) == len(parallel) == 4
+        assert [r.point.key for r in serial] == [
+            r.point.key for r in parallel
+        ]
+        assert serial.metrics_by_key() == parallel.metrics_by_key()
+
+    def test_results_follow_spec_order(self):
+        outcome = run_sweep(tiny_spec(), workers=2)
+        assert [
+            (r.params["ratio"], r.params["suite"]) for r in outcome
+        ] == [
+            (p.as_dict()["ratio"], p.as_dict()["suite"])
+            for p in tiny_spec().expand()
+        ]
+
+    def test_study_defaults_enter_params_and_key(self, tmp_path):
+        """Cache keys cover the full bound parameterisation, so the
+        defaulted and explicit spellings of a point are one entry."""
+        implicit = run_sweep(tiny_spec()).results
+        assert all(r.params["ways"] == 8 for r in implicit)  # default
+
+        explicit_spec = tiny_spec()
+        explicit_spec.base["ways"] = 8
+        store = ResultStore(str(tmp_path / "store.jsonl"))
+        SweepRunner(store=store).run(tiny_spec())
+        rerun = SweepRunner(store=store).run(explicit_spec)
+        assert rerun.cache_hits == len(rerun) == 4
+
+    def test_duplicate_grid_values_survive_parallel(self):
+        spec = SweepSpec(
+            "caches",
+            base=dict(TINY_BASE),
+            grid={"ratio": [0.5, 0.5], "suite": ["office"]},
+        )
+        outcome = SweepRunner(store=None, workers=2).run(spec)
+        assert len(outcome) == 2
+        metrics = [r.metrics for r in outcome]
+        assert metrics[0] == metrics[1]
+
+    def test_unknown_study_raises(self):
+        with pytest.raises(KeyError):
+            run_sweep(SweepSpec("no_such_study"))
+
+    def test_unknown_parameter_rejected(self):
+        # A typo'd axis would otherwise sweep identical points.
+        with pytest.raises(ValueError, match="ratoi"):
+            run_sweep(SweepSpec("caches", grid={"ratoi": [0.4, 0.6]}))
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            SweepRunner(workers=0)
+
+    def test_progress_callback_sees_every_point(self):
+        seen = []
+        run_sweep(tiny_spec(), progress=seen.append)
+        assert len(seen) == 4
+
+
+class TestRegistry:
+    def test_all_studies_registered(self):
+        assert {"caches", "regfile", "penelope", "invert_ratio",
+                "vmin_power", "victim_policy"} <= set(study_names())
+
+    def test_defaults_are_bound(self):
+        study = get_study("caches")
+        bound = study.bind({"ratio": 0.7})
+        assert bound["ratio"] == 0.7
+        assert bound["ways"] == 8  # default preserved
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            get_study("caches").execute(
+                {"length": 200, "scheme": "bogus"}
+            )
+
+
+class TestSummary:
+    def _results(self):
+        return run_sweep(tiny_spec(), workers=1).results
+
+    def test_group_and_aggregate(self):
+        results = self._results()
+        groups = group_results(results, ["ratio"])
+        assert set(groups) == {(0.4,), (0.6,)}
+        for members in groups.values():
+            assert len(members) == 2
+            mean = aggregate_metric(members, "mean_loss")
+            per_point = [m.metrics["mean_loss"] for m in members]
+            assert mean == pytest.approx(sum(per_point) / 2)
+            assert aggregate_metric(members, "mean_loss", "min") == min(
+                per_point
+            )
+
+    def test_non_numeric_metrics_skipped_in_groups(self):
+        results = self._results()
+        groups = group_results(results, ["ratio"])
+        for members in groups.values():
+            # scheme_name is a string; a 2-point group cannot reduce it.
+            assert aggregate_metric(members, "scheme_name") is None
+
+    def test_summarize_and_format(self):
+        results = self._results()
+        headers, rows = summarize(results, ["ratio"],
+                                  metrics=["mean_loss"])
+        assert headers == ["ratio", "mean_loss"]
+        assert len(rows) == 2
+        text = format_summary(results, ["ratio"],
+                              metrics=["mean_loss"], title="t")
+        assert "mean_loss" in text and text.startswith("t")
+
+    def test_metric_names_sorted(self):
+        names = metric_names(self._results())
+        assert names == sorted(names)
+        assert "mean_loss" in names
+
+
+class TestAcceptance:
+    def test_grid_sweep_caches_and_reruns_from_store(self, tmp_path):
+        """The ISSUE's acceptance grid, scaled down in trace length."""
+        spec = SweepSpec(
+            "caches",
+            base={"length": 400, "seed": 1},
+            grid={
+                "ratio": [0.4, 0.5, 0.6],
+                "ways": [4, 8],
+                "suite": ["office", "kernels", "specint2000",
+                          "encoder"],
+            },
+        )
+        assert spec.size == 24
+        store = ResultStore(str(tmp_path / "store.jsonl"))
+        first = SweepRunner(store=store, workers=4).run(spec)
+        assert len(first) == 24 and first.executed == 24
+
+        rerun = SweepRunner(store=store, workers=4).run(spec)
+        assert rerun.cache_hits == 24 and rerun.executed == 0
+        assert rerun.metrics_by_key() == first.metrics_by_key()
+
+        serial = SweepRunner(store=None, workers=1).run(spec)
+        assert serial.metrics_by_key() == first.metrics_by_key()
