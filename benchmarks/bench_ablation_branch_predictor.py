@@ -17,7 +17,7 @@ from repro.uarch.branch_predictor import (
 from repro.workloads import SUITE_PROFILES, TraceGenerator, suite_names
 from repro.uarch.uop import UopClass
 
-from conftest import write_result
+from conftest import SMOKE, write_result
 
 
 def branch_stream(workload):
@@ -67,16 +67,19 @@ def test_ablation_branch_predictor(benchmark, workload):
     plain, protected = benchmark.pedantic(
         compare, args=(stream,), rounds=1, iterations=1
     )
-    assert plain.stats.accuracy > 0.6
-    # Balance improves at every ratio; accuracy cost grows with the
-    # ratio (unlike caches, a predictor entry has no "dead" state to
-    # exploit — the trade-off is why the paper only sketches this
-    # structure).
-    accuracies = [protected[r].stats.accuracy for r in RATIOS]
-    assert accuracies == sorted(accuracies, reverse=True)
-    assert protected[0.25].stats.accuracy > plain.stats.accuracy - 0.12
-    for ratio in RATIOS:
-        assert protected[ratio].worst_bias() <= plain.worst_bias() + 1e-9
+    if not SMOKE:
+        assert plain.stats.accuracy > 0.6
+        # Balance improves at every ratio; accuracy cost grows with the
+        # ratio (unlike caches, a predictor entry has no "dead" state to
+        # exploit — the trade-off is why the paper only sketches this
+        # structure).
+        accuracies = [protected[r].stats.accuracy for r in RATIOS]
+        assert accuracies == sorted(accuracies, reverse=True)
+        assert (protected[0.25].stats.accuracy
+                > plain.stats.accuracy - 0.12)
+        for ratio in RATIOS:
+            assert (protected[ratio].worst_bias()
+                    <= plain.worst_bias() + 1e-9)
 
     rows = [["baseline", f"{plain.stats.accuracy:.1%}",
              f"{plain.worst_bias():.1%}"]]

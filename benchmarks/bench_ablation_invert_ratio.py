@@ -20,11 +20,14 @@ from repro.experiments import (
 )
 from repro.workloads import suite_names
 
+from conftest import SMOKE, scaled
+
 RATIOS = (0.25, 0.4, 0.5, 0.6, 0.75)
 
 SPEC = SweepSpec(
     "invert_ratio",
-    base={"length": 10_000, "seed": 55, "size_kb": 16, "ways": 8},
+    base={"length": scaled(10_000), "seed": 55, "size_kb": 16,
+          "ways": 8},
     grid={"ratio": list(RATIOS), "suite": suite_names()},
 )
 
@@ -58,7 +61,8 @@ def test_ablation_invert_ratio(benchmark):
     rows, losses, data = benchmark.pedantic(sweep, rounds=1,
                                             iterations=1)
     # More inversion can only cost more performance.
-    assert losses == sorted(losses)
+    if not SMOKE:
+        assert losses == sorted(losses)
     text = format_table(
         ["invert ratio", "perf loss", "achieved ratio",
          "worst-cell bias (90%-biased data)"],

@@ -18,7 +18,7 @@ from repro.core.metric import nbti_efficiency
 from repro.uarch.cache import CacheConfig
 from repro.workloads import generate_address_stream, suite_names
 
-from conftest import write_result
+from conftest import SMOKE, scaled, write_result
 
 CONFIG = CacheConfig(name="DL0-16K-8w", size_bytes=16 * 1024, ways=8)
 
@@ -26,7 +26,7 @@ CONFIG = CacheConfig(name="DL0-16K-8w", size_bytes=16 * 1024, ways=8)
 @pytest.fixture(scope="module")
 def streams():
     return [
-        generate_address_stream(suite, length=10_000, seed=11)
+        generate_address_stream(suite, length=scaled(10_000), seed=11)
         for suite in suite_names()
     ]
 
@@ -51,7 +51,8 @@ def test_ablation_inverted_mode(benchmark, streams):
         cpi_factor=1.0 + flushing.mean_loss
     ).efficiency
 
-    assert penelope_eff < inverted_eff
+    if not SMOKE:
+        assert penelope_eff < inverted_eff
 
     rows = [
         ["LineFixed50% CPI loss", f"{linefixed.mean_loss:.2%}"],

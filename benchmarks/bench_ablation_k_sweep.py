@@ -14,7 +14,7 @@ from repro.uarch import TraceDrivenCore
 from repro.uarch.uop import SCHEDULER_LAYOUT
 from repro.workloads import TraceGenerator
 
-from conftest import write_result
+from conftest import SMOKE, scaled, write_result
 from repro.analysis import format_table
 
 K_VALUES = (0.0, 0.25, 0.5, 0.75, 1.0)
@@ -49,18 +49,20 @@ def sweep(trace):
 
 @pytest.fixture(scope="module")
 def trace():
-    return TraceGenerator(seed=66).generate("specint2000", length=6000)
+    return TraceGenerator(seed=66).generate("specint2000",
+                                           length=scaled(6000))
 
 
 def test_ablation_k_sweep(benchmark, trace):
     rows, biases = benchmark.pedantic(
         sweep, args=(trace,), rounds=1, iterations=1
     )
-    # Writing "1" more often monotonically lowers the bias towards 0.
-    assert biases == sorted(biases, reverse=True)
-    # K=1 (ALL1) brings the flags' near-100% baseline bias the closest
-    # to balance for this data (flags are almost always 0 when busy).
-    assert biases[-1] == min(biases)
+    if not SMOKE:
+        # Writing "1" more often monotonically lowers the bias to 0.
+        assert biases == sorted(biases, reverse=True)
+        # K=1 (ALL1) brings the flags' near-100% baseline bias the
+        # closest to balance (flags are almost always 0 when busy).
+        assert biases[-1] == min(biases)
     text = format_table(
         ["K", "worst flags bias to 0", "distance from balance"],
         rows,

@@ -16,6 +16,8 @@ from repro.core.cache_like import LineFixedScheme, run_cache_study
 from repro.uarch.cache import Cache, CacheConfig, LineState
 from repro.workloads import generate_address_stream, suite_names
 
+from conftest import SMOKE, scaled
+
 CONFIG = CacheConfig(name="DL0-16K-8w", size_bytes=16 * 1024, ways=8)
 
 
@@ -37,7 +39,7 @@ class AnyPositionLineFixed(LineFixedScheme):
 @pytest.fixture(scope="module")
 def streams():
     return [
-        generate_address_stream(suite, length=10_000, seed=99)
+        generate_address_stream(suite, length=scaled(10_000), seed=99)
         for suite in suite_names()
     ]
 
@@ -49,8 +51,7 @@ def compare(streams):
     # Hit-position histogram of a baseline run (the paper's MRU stat).
     cache = Cache(CONFIG)
     for stream in streams:
-        for address in stream:
-            cache.access(address)
+        cache.replay(stream)
     mru = cache.stats.mru_hit_fraction(0)
     mru1 = cache.stats.mru_hit_fraction(1)
     return lru, naive, mru, mru1
@@ -60,10 +61,11 @@ def test_ablation_victim_policy(benchmark, streams):
     lru, naive, mru, mru1 = benchmark.pedantic(
         compare, args=(streams,), rounds=1, iterations=1
     )
-    # LRU-position selection must not be worse than naive selection.
-    assert lru.mean_loss <= naive.mean_loss + 1e-6
-    # Hits concentrate near the MRU (paper: 90% / 7%).
-    assert mru > 0.6
+    if not SMOKE:
+        # LRU-position selection must not be worse than naive victims.
+        assert lru.mean_loss <= naive.mean_loss + 1e-6
+        # Hits concentrate near the MRU (paper: 90% / 7%).
+        assert mru > 0.6
     rows = [
         ["LRU-position victims (paper)", f"{lru.mean_loss:.2%}"],
         ["any-position victims (naive)", f"{naive.mean_loss:.2%}"],

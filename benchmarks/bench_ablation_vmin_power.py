@@ -17,18 +17,20 @@ import pytest
 from repro.analysis import format_table
 from repro.experiments import SweepRunner, SweepSpec
 
+from conftest import SMOKE, scaled
+
 TARGETS = (0.60, 0.70, 0.80)
 
 POWER_SPEC = SweepSpec(
     "vmin_power",
-    base={"suite": "specint2000", "length": 8000, "seed": 88},
+    base={"suite": "specint2000", "length": scaled(8000), "seed": 88},
     grid={"target": list(TARGETS)},
 )
 
 WAY_SPEC = SweepSpec(
     "caches",
     base={
-        "suite": "office", "length": 8000, "seed": 88,
+        "suite": "office", "length": scaled(8000), "seed": 88,
         "size_kb": 16, "ways": 8, "scheme": "way_fixed", "ratio": 0.5,
     },
 )
@@ -46,7 +48,8 @@ def test_ablation_vmin_power(benchmark):
     first = power[0].metrics
     base_bias, isv_bias = first["base_bias"], first["isv_bias"]
     base_vmin, isv_vmin = first["base_vmin"], first["isv_vmin"]
-    assert isv_vmin < base_vmin
+    if not SMOKE:
+        assert isv_vmin < base_vmin
 
     rows = []
     savings_by_target = {}
@@ -61,8 +64,9 @@ def test_ablation_vmin_power(benchmark):
         ])
     # Deeper scaling exposes more of the Vmin benefit.
     ordered = [savings_by_target[t] for t in (0.80, 0.70, 0.60)]
-    assert ordered == sorted(ordered)
-    assert savings_by_target[0.60] > 0.0
+    if not SMOKE:
+        assert ordered == sorted(ordered)
+        assert savings_by_target[0.60] > 0.0
 
     text = format_table(
         ["voltage target", "baseline power", "ISV power", "savings"],

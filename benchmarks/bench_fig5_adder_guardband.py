@@ -12,7 +12,7 @@ import numpy as np
 from repro.analysis import format_series
 from repro.core.combinational import adder_guardband_study
 
-from conftest import write_result
+from conftest import SMOKE, write_result
 
 
 def test_fig5_guardband_vs_utilization(benchmark, adder32,
@@ -33,9 +33,11 @@ def test_fig5_guardband_vs_utilization(benchmark, adder32,
     g21 = study["21% real + 000 + 111"]
     g11 = study["11% real + 000 + 111"]
     assert g11 < g21 < g30 < g_real
-    assert abs(g_real - 0.20) < 0.01
-    assert abs(g30 - 0.074) < 0.012
-    assert abs(g21 - 0.058) < 0.012
+    if not SMOKE:
+        # Numeric anchors need the full-size operand reservoir.
+        assert abs(g_real - 0.20) < 0.01
+        assert abs(g30 - 0.074) < 0.012
+        assert abs(g21 - 0.058) < 0.012
 
     measured_util = float(np.mean([
         np.mean(r.adder_utilization) for r in baseline_results.values()

@@ -12,7 +12,7 @@ from repro.uarch import TraceDrivenCore
 from repro.uarch.core import CompositeHooks
 from repro.uarch.uop import FP_WIDTH, INT_WIDTH
 
-from conftest import write_result
+from conftest import SMOKE, write_result
 
 
 def run_isv(workload):
@@ -49,10 +49,11 @@ def test_fig6_regfile_bias(benchmark, workload, baseline_results):
         [r.int_rf.port_free_fraction for r in protected]
     ))
 
-    assert int_isv < int_base
-    assert fp_isv < fp_base
-    assert int_base > 0.85       # paper: 89.9%
-    assert int_isv < 0.70        # paper: 48.5% (warmup-limited here)
+    if not SMOKE:
+        assert int_isv < int_base
+        assert fp_isv < fp_base
+        assert int_base > 0.85   # paper: 89.9%
+        assert int_isv < 0.70    # paper: 48.5% (warmup-limited here)
 
     rows = [
         ["INT worst bias (baseline)", f"{int_base:.1%}", "89.9%"],

@@ -14,7 +14,7 @@ from repro.core.memory_like import (
 )
 from repro.uarch import TraceDrivenCore
 
-from conftest import write_result
+from conftest import SMOKE, write_result
 
 
 def run_protected(workload, policy):
@@ -58,8 +58,9 @@ def test_fig8_scheduler_bias(benchmark, workload, baseline_results):
         np.abs(merged - 0.5) < 0.1
     ))
 
-    assert base_worst > 0.95
-    assert prot_worst < base_worst
+    if not SMOKE:
+        assert base_worst > 0.95
+        assert prot_worst < base_worst
 
     rows = [
         ["worst bit bias (baseline)", f"{base_worst:.1%}", "~100%"],

@@ -9,7 +9,7 @@ import numpy as np
 
 from repro.analysis import bias_band, format_table, merge_bias_arrays
 
-from conftest import write_result
+from conftest import SMOKE, write_result
 
 
 def collect(baseline_results):
@@ -29,8 +29,9 @@ def test_motivation_bias(benchmark, baseline_results):
         collect, args=(baseline_results,), rounds=1, iterations=1
     )
     low, high = bias_band(int_bias)
-    assert carry_zero > 0.90
-    assert sched_worst > 0.95
+    if not SMOKE:
+        assert carry_zero > 0.90
+        assert sched_worst > 0.95
 
     rows = [
         ["adder carry-in zero-signal probability",

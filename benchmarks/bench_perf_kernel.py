@@ -1,0 +1,123 @@
+"""Simulation-kernel hot-path performance (tracked since PR 2).
+
+Measures µs/access of the cache replay under each inversion scheme and
+the trace-driven core's replay throughput, and writes the numbers as a
+JSON artefact so the perf trajectory is visible across commits.
+
+Reference point (PR 2's motivating bug): before the O(1) INVCOUNT /
+shadow counters, `LineFixed50%` replay cost ~107 µs/access against a
+~7 µs/access baseline (15x), because `maintain()` rescanned all
+sets x ways lines on every access.  After the overhaul the protected
+replay must stay within a small constant factor of the baseline.
+"""
+
+import random
+import time
+
+from repro.analysis import format_table
+from repro.core.cache_like import (
+    LineDynamicScheme,
+    LineFixedScheme,
+    ProtectedCache,
+    SetFixedScheme,
+)
+from repro.uarch import TraceDrivenCore
+from repro.uarch.cache import Cache, CacheConfig
+from repro.workloads import TraceGenerator
+
+from conftest import SMOKE, scaled, write_result
+
+#: Uniform random addresses over a footprint >> cache size: the
+#: miss-heavy worst case that made the INVCOUNT rescan pathological.
+STREAM_LENGTH = scaled(200_000, floor=5_000)
+TRACE_LENGTH = scaled(20_000, floor=2_000)
+
+#: Pre-overhaul measurement on the reference machine (see module doc).
+PRE_PR_LINE_FIXED_US = 107.0
+
+#: Protected replay must stay within this factor of the baseline
+#: (pre-overhaul it was 15x; post-overhaul ~2x — 6x leaves headroom
+#: for noisy CI machines while still catching an O(lines) regression).
+MAX_PROTECTED_OVERHEAD = 6.0
+
+CONFIG = CacheConfig(name="DL0-32K-8w", size_bytes=32 * 1024, ways=8)
+
+
+def uniform_stream(length: int, seed: int = 42):
+    rng = random.Random(seed)
+    line_bytes = CONFIG.line_bytes
+    return [rng.randrange(1 << 20) * line_bytes for __ in range(length)]
+
+
+def us_per_access(target, stream) -> float:
+    start = time.perf_counter()
+    target.replay(stream)
+    return (time.perf_counter() - start) * 1e6 / len(stream)
+
+
+def run_kernel_perf():
+    stream = uniform_stream(STREAM_LENGTH)
+    timings = {
+        "baseline": us_per_access(Cache(CONFIG), stream),
+        "SetFixed50%": us_per_access(
+            ProtectedCache(Cache(CONFIG), SetFixedScheme(0.5)), stream),
+        "LineFixed50%": us_per_access(
+            ProtectedCache(Cache(CONFIG), LineFixedScheme(0.5)), stream),
+        "LineDynamic60%": us_per_access(
+            ProtectedCache(Cache(CONFIG), LineDynamicScheme(0.6)), stream),
+    }
+
+    trace = TraceGenerator(seed=7).generate("specint2000",
+                                            length=TRACE_LENGTH)
+    core = TraceDrivenCore()
+    start = time.perf_counter()
+    first = core.run(trace)
+    core_elapsed = time.perf_counter() - start
+    second = core.run(trace)  # reusable-core check rides along
+    throughput = len(trace) / core_elapsed
+    return timings, throughput, first, second
+
+
+def test_perf_kernel(benchmark):
+    timings, core_uops_per_s, first, second = benchmark.pedantic(
+        run_kernel_perf, rounds=1, iterations=1
+    )
+
+    # A reused core replays the same trace bit-exactly.
+    assert first.cycles == second.cycles
+    assert first.dl0.misses == second.dl0.misses
+    # The overhead ratio is scale-independent (unlike the other
+    # benches' shape anchors), so assert it even in scaled runs — as
+    # long as the stream is long enough for stable timing.
+    if STREAM_LENGTH >= 20_000:
+        for scheme in ("SetFixed50%", "LineFixed50%", "LineDynamic60%"):
+            assert timings[scheme] <= (
+                timings["baseline"] * MAX_PROTECTED_OVERHEAD
+            ), f"{scheme} replay regressed to O(lines)-like cost: {timings}"
+
+    rows = [
+        [name, f"{us:.2f}",
+         f"{us / timings['baseline']:.2f}x"]
+        for name, us in timings.items()
+    ]
+    rows.append(["core replay", f"{core_uops_per_s:,.0f} uops/s", "-"])
+    text = format_table(
+        ["target", "us/access", "vs baseline"], rows,
+        title=(f"kernel hot-path perf ({STREAM_LENGTH} uniform accesses "
+               f"on {CONFIG.name})"),
+    )
+    text += (f"\npre-overhaul reference: LineFixed50% "
+             f"~{PRE_PR_LINE_FIXED_US:.0f} us/access (15x baseline)")
+    write_result("perf_kernel.txt", text, data={
+        "stream_length": STREAM_LENGTH,
+        "trace_length": TRACE_LENGTH,
+        "us_per_access": timings,
+        "core_uops_per_s": core_uops_per_s,
+        "protected_overhead_vs_baseline": {
+            name: us / timings["baseline"] for name, us in timings.items()
+        },
+        "speedup_vs_pre_pr_line_fixed": (
+            PRE_PR_LINE_FIXED_US / timings["LineFixed50%"]
+        ),
+        "smoke": SMOKE,
+    })

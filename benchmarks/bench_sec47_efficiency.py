@@ -13,7 +13,7 @@ from repro.core.metric import (
     nbti_efficiency,
 )
 
-from conftest import write_result
+from conftest import SMOKE, write_result
 
 
 def evaluate(workload):
@@ -31,7 +31,8 @@ def test_sec47_processor_efficiency(benchmark, workload):
     baseline = report.baseline_efficiency
     invert = nbti_efficiency(1.10, 0.02, 1.0)
     penelope = report.efficiency
-    assert penelope < invert < baseline
+    if not SMOKE:
+        assert penelope < invert < baseline
 
     rows = [["block", "guardband", "efficiency", "paper eff."]]
     paper_block = {"adder": "1.24", "int_rf": "1.12", "fp_rf": "1.12",

@@ -21,9 +21,9 @@ from repro.uarch.cache import CacheConfig
 from repro.uarch.tlb import TLBConfig
 from repro.workloads import generate_address_stream, suite_names
 
-from conftest import write_result
+from conftest import SMOKE, scaled, write_result
 
-STREAM_LENGTH = 20_000
+STREAM_LENGTH = scaled(20_000)
 
 DL0_CONFIGS = [
     CacheConfig(name=f"DL0-{kb}K-{ways}w", size_bytes=kb * 1024, ways=ways)
@@ -115,21 +115,22 @@ def test_tab3_cache_performance(benchmark, streams):
         run_table3, args=(streams,), rounds=1, iterations=1
     )
 
-    # Shape assertions: dynamic wins (or ties) on every configuration.
-    for config in [c.name for c in DL0_CONFIGS] + [c.name for c in
-                                                   DTLB_CONFIGS]:
-        dynamic = losses[(config, "LineDynamic60%")]
-        assert dynamic <= losses[(config, "LineFixed50%")] + 0.003
-        assert dynamic <= losses[(config, "SetFixed50%")] + 0.003
-    # Losses grow as the DL0 shrinks (per associativity).
-    for ways in ("8w", "4w"):
-        fixed = [losses[(f"DL0-{kb}K-{ways}", "LineFixed50%")]
-                 for kb in (32, 16, 8)]
-        assert fixed[0] <= fixed[2] + 0.003
-    # All losses stay small (the 8KB configs overshoot the paper's
-    # 1.6-2.3% because the synthetic streams have a fatter reuse tail;
-    # see EXPERIMENTS.md).
-    assert all(loss < 0.08 for loss in losses.values())
+    if not SMOKE:
+        # Shape assertions: dynamic wins (or ties) everywhere.
+        for config in [c.name for c in DL0_CONFIGS] + [c.name for c in
+                                                       DTLB_CONFIGS]:
+            dynamic = losses[(config, "LineDynamic60%")]
+            assert dynamic <= losses[(config, "LineFixed50%")] + 0.003
+            assert dynamic <= losses[(config, "SetFixed50%")] + 0.003
+        # Losses grow as the DL0 shrinks (per associativity).
+        for ways in ("8w", "4w"):
+            fixed = [losses[(f"DL0-{kb}K-{ways}", "LineFixed50%")]
+                     for kb in (32, 16, 8)]
+            assert fixed[0] <= fixed[2] + 0.003
+        # All losses stay small (the 8KB configs overshoot the paper's
+        # 1.6-2.3% because the synthetic streams have a fatter reuse
+        # tail; see EXPERIMENTS.md).
+        assert all(loss < 0.08 for loss in losses.values())
 
     text = format_table(
         ["config", "SetFixed50%", "LineFixed50%", "LineDynamic60%"],

@@ -17,11 +17,36 @@ import pytest
 from repro.uarch import TraceDrivenCore
 from repro.workloads import TraceGenerator, suite_names
 
+#: Smoke mode (`repro bench-smoke` / REPRO_BENCH_SMOKE=1): every bench
+#: executes end to end with scaled-down workloads and its shape
+#: assertions relaxed, so API rot is caught without paying full-size
+#: runs.  Artefacts are diverted to a separate directory so smoke runs
+#: never clobber the full-size results EXPERIMENTS.md cites.
+_SMOKE_ENV = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+
+#: Workload divisor; >1 shrinks every bench's trace/stream lengths.
+SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "10" if _SMOKE_ENV else "1"))
+
+#: The full-size shape assertions only hold for full-size workloads, so
+#: ANY scaled run relaxes them — REPRO_BENCH_SCALE>1 without the smoke
+#: flag must not fail anchors like fig6's `int_base > 0.85`.
+SMOKE = _SMOKE_ENV or SCALE > 1
+
+
+def scaled(n: int, floor: int = 200) -> int:
+    """``n`` shrunk by the bench scale factor, but never below ``floor``."""
+    return max(min(floor, n), n // SCALE)
+
+
 #: Scaled-down study shape: one trace per Table 1 suite.
 BENCH_SEED = 1234
-BENCH_TRACE_LENGTH = 6000
+BENCH_TRACE_LENGTH = scaled(6000)
 
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+RESULTS_DIR = os.environ.get(
+    "REPRO_BENCH_RESULTS_DIR",
+    os.path.join(os.path.dirname(__file__),
+                 "results" if SCALE == 1 else "results-scaled"),
+)
 
 
 def write_result(

@@ -28,9 +28,10 @@ def measure_utilization(policy: AdderPolicy, suites) -> tuple:
     generator = TraceGenerator(seed=7)
     utilizations = []
     vectors = []
+    # One core serves every suite: run() resets all per-run state.
+    core = TraceDrivenCore(CoreConfig(adder_policy=policy))
     for suite in suites:
         trace = generator.generate(suite, length=4000)
-        core = TraceDrivenCore(CoreConfig(adder_policy=policy))
         result = core.run(trace)
         utilizations.append(result.adder_utilization)
         vectors.extend(result.adder_samples)

@@ -25,6 +25,10 @@ LENGTH = 6000
 def run(protected: bool):
     generator = TraceGenerator(seed=13)
     results, protectors = [], []
+    # Cores are reusable (run() resets per-run state); the protected
+    # pass still builds one core per trace because the ISV protectors
+    # themselves accumulate per-trace state.
+    baseline_core = TraceDrivenCore()
     for suite in SUITES:
         trace = generator.generate(suite, length=LENGTH)
         if protected:
@@ -34,7 +38,7 @@ def run(protected: bool):
             protectors.append((p_int, p_fp))
             core = TraceDrivenCore(hooks=hooks)
         else:
-            core = TraceDrivenCore()
+            core = baseline_core
         results.append(core.run(trace))
     return results, protectors
 

@@ -275,6 +275,64 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_smoke(args: argparse.Namespace) -> int:
+    """Execute every bench with scaled-down workloads (tier-2 smoke).
+
+    ``pytest benchmarks/`` collects nothing (the files are named
+    ``bench_*.py``), so without this entry point the benches only run
+    when someone remembers to invoke them file by file — and rot.  The
+    smoke run points pytest at the bench directory with the smoke/scale
+    environment set, which shrinks every workload and relaxes the
+    full-size shape assertions (see ``benchmarks/conftest.py``).
+    """
+    import os
+
+    import pytest
+
+    bench_dir = args.path
+    if bench_dir is None:
+        repo_root = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))))
+        bench_dir = os.path.join(repo_root, "benchmarks")
+    if not os.path.isdir(bench_dir):
+        print(f"error: bench directory not found: {bench_dir}",
+              file=sys.stderr)
+        return 2
+    if args.scale < 1:
+        print("error: --scale must be >= 1", file=sys.stderr)
+        return 2
+    # Every key is assigned (or cleared) explicitly and restored after
+    # the run, so repeated invocations in one process cannot inherit a
+    # previous call's scale or artefact directory.
+    overrides = {
+        "REPRO_BENCH_SMOKE": "1",
+        "REPRO_BENCH_SCALE": str(args.scale),
+        "REPRO_BENCH_RESULTS_DIR": args.results_dir,
+    }
+    saved = {key: os.environ.get(key) for key in overrides}
+    for key, value in overrides.items():
+        if value is None:
+            os.environ.pop(key, None)
+        else:
+            os.environ[key] = value
+    # bench_*.py does not match pytest's default python_files pattern
+    # (the very rot this command exists to prevent), so widen it.
+    pytest_args = [
+        bench_dir, "-q", "-p", "no:cacheprovider",
+        "-o", "python_files=bench_*.py",
+    ]
+    if args.only:
+        pytest_args += ["-k", args.only]
+    try:
+        return int(pytest.main(pytest_args))
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
 def cmd_results(args: argparse.Namespace) -> int:
     from repro.experiments import ResultStore
 
@@ -381,6 +439,28 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--verbose", action="store_true",
                        help="print one progress line per point")
     sweep.set_defaults(func=cmd_sweep)
+
+    bench_smoke = commands.add_parser(
+        "bench-smoke",
+        help="execute every benchmark with tiny workloads (rot check)",
+    )
+    bench_smoke.add_argument(
+        "--scale", type=int, default=10,
+        help="workload divisor applied to every bench (default 10)",
+    )
+    bench_smoke.add_argument(
+        "--path", default=None, metavar="DIR",
+        help="bench directory (default: <repo>/benchmarks)",
+    )
+    bench_smoke.add_argument(
+        "--results-dir", default=None, metavar="DIR",
+        help="artefact directory (default: benchmarks/results-scaled)",
+    )
+    bench_smoke.add_argument(
+        "--only", default=None, metavar="EXPR",
+        help="pytest -k expression selecting a subset of benches",
+    )
+    bench_smoke.set_defaults(func=cmd_bench_smoke)
 
     results = commands.add_parser(
         "results", help="list cached sweep results")

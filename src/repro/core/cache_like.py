@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Mapping, Sequence, Tuple
+from typing import Iterable, List, Mapping, Sequence, Tuple
 
 from repro.uarch.cache import Cache, CacheConfig, LineState
 
@@ -40,7 +40,10 @@ DTLB_EFFECTIVE_PENALTY = 10.0
 class InversionScheme:
     """Base class: owns the inversion policy of one protected cache."""
 
-    name = "baseline"
+    __slots__ = ("name", "cache", "rng")
+
+    def __init__(self) -> None:
+        self.name = "baseline"
 
     def attach(self, cache: Cache, rng: random.Random) -> None:
         self.cache = cache
@@ -52,8 +55,24 @@ class InversionScheme:
         self.maintain()
         return hit
 
+    def replay(self, addresses: Iterable[int]) -> int:
+        """Access a whole stream through the scheme; returns the hits.
+
+        Bit-exact equivalent of calling :meth:`access` per address with
+        the method lookups hoisted out of the loop.
+        """
+        access = self.access
+        hits = 0
+        for address in addresses:
+            if access(address):
+                hits += 1
+        return hits
+
     def maintain(self) -> None:
         """Restore the scheme's invariants after an access."""
+
+    def reset(self) -> None:
+        """Forget mutable pre-attach state; :meth:`attach` redoes the rest."""
 
     # -- helpers shared by line-granularity schemes ---------------------
     def _min_invert_position(self, ratio: float) -> int:
@@ -77,21 +96,12 @@ class InversionScheme:
         will be done in the future").
         """
         cache = self.cache
+        invert_candidate = cache.invert_candidate
+        randrange = self.rng.randrange
+        sets = cache.config.sets
         for __ in range(max(1, tries)):
-            set_index = self.rng.randrange(cache.config.sets)
-            for way in range(cache.config.ways):
-                if cache.line_state(set_index, way) is LineState.INVALID:
-                    cache.invert_line(set_index, way)
-                    return True
-            valid = cache.valid_ways(set_index)
-            if not valid:
-                continue
-            for position in range(cache.config.ways - 1,
-                                  min_position - 1, -1):
-                way = cache.lru_position(set_index, position)
-                if way in valid:
-                    cache.invert_line(set_index, way)
-                    return True
+            if invert_candidate(randrange(sets), min_position):
+                return True
         return False
 
 
@@ -105,6 +115,9 @@ class SetFixedScheme(InversionScheme):
     of remap misses — which is why the paper rotates rarely.
     """
 
+    __slots__ = ("ratio", "rotation_period", "_first_inverted",
+                 "_accesses", "_count", "_live")
+
     def __init__(
         self,
         ratio: float = DEFAULT_INVERT_RATIO,
@@ -117,6 +130,10 @@ class SetFixedScheme(InversionScheme):
         self.ratio = ratio
         self.rotation_period = rotation_period
         self.name = f"SetFixed{int(round(ratio * 100))}%"
+        self._first_inverted = 0
+        self._accesses = 0
+
+    def reset(self) -> None:
         self._first_inverted = 0
         self._accesses = 0
 
@@ -191,6 +208,9 @@ class WayFixedScheme(InversionScheme):
     the coarse-period analogue of the set scheme's remap misses).
     """
 
+    __slots__ = ("ratio", "rotation_period", "_first", "_accesses",
+                 "_count")
+
     def __init__(
         self,
         ratio: float = DEFAULT_INVERT_RATIO,
@@ -203,6 +223,10 @@ class WayFixedScheme(InversionScheme):
         self.ratio = ratio
         self.rotation_period = rotation_period
         self.name = f"WayFixed{int(round(ratio * 100))}%"
+        self._first = 0
+        self._accesses = 0
+
+    def reset(self) -> None:
         self._first = 0
         self._accesses = 0
 
@@ -245,6 +269,8 @@ class WayFixedScheme(InversionScheme):
 class LineFixedScheme(InversionScheme):
     """Line-granularity inversion at a fixed ratio (INVCOUNT-based)."""
 
+    __slots__ = ("ratio", "threshold", "_min_position")
+
     def __init__(self, ratio: float = DEFAULT_INVERT_RATIO) -> None:
         if not 0.0 <= ratio < 1.0:
             raise ValueError("ratio must be within [0, 1)")
@@ -270,8 +296,44 @@ class LineFixedScheme(InversionScheme):
         # INVCOUNT below INVTHRESHOLD after a refill consumed an inverted
         # line: invert a valid line from a random set (one try per
         # access; a failed try repeats later because INVCOUNT stays low).
+        # inverted_count() is an O(1) counter, so this costs one compare
+        # on the (common) balanced path.
         if self.cache.inverted_count() < self.threshold:
             self._invert_one_line(self._min_position)
+
+    def replay(self, addresses) -> int:
+        """Hot-loop specialisation of the generic scheme replay.
+
+        Bit-exact against access()+maintain() per address (the RNG is
+        consumed in the same order); all lookups are hoisted.
+        """
+        cls = type(self)
+        if (cls.maintain is not LineFixedScheme.maintain
+                or cls.access is not InversionScheme.access
+                or cls._invert_one_line
+                is not InversionScheme._invert_one_line):
+            # A subclass changed the per-access behaviour: the inlined
+            # loop below would silently bypass it, so take the generic
+            # access()-per-address path instead.
+            return super().replay(addresses)
+        cache = self.cache
+        cache_access = cache.access
+        inverted_count = cache.inverted_count
+        invert_candidate = cache.invert_candidate
+        randrange = self.rng.randrange
+        sets = cache.config.sets
+        threshold = self.threshold
+        min_position = self._min_position
+        tries = range(4)
+        hits = 0
+        for address in addresses:
+            if cache_access(address):
+                hits += 1
+            if inverted_count() < threshold:
+                for __ in tries:
+                    if invert_candidate(randrange(sets), min_position):
+                        break
+        return hits
 
 
 class LineDynamicScheme(InversionScheme):
@@ -283,6 +345,10 @@ class LineDynamicScheme(InversionScheme):
     induced extra miss rate exceeds ``threshold`` the mechanism stays
     off for the rest of the period.
     """
+
+    __slots__ = ("ratio", "threshold", "warmup", "test_window", "period",
+                 "_accesses", "_active", "_test_start_shadow_hits",
+                 "_decisions", "_line_target", "_min_position")
 
     def __init__(
         self,
@@ -310,6 +376,12 @@ class LineDynamicScheme(InversionScheme):
         self._active = False
         self._test_start_shadow_hits = 0
         self._decisions: List[bool] = []
+
+    def reset(self) -> None:
+        self._accesses = 0
+        self._active = False
+        self._test_start_shadow_hits = 0
+        self._decisions = []
 
     def attach(self, cache: Cache, rng: random.Random) -> None:
         super().attach(cache, rng)
@@ -373,20 +445,14 @@ class LineDynamicScheme(InversionScheme):
 
     def _shadow_one_line(self) -> None:
         cache = self.cache
-        set_index = self.rng.randrange(cache.config.sets)
-        valid = cache.valid_ways(set_index)
-        if not valid:
-            return
-        for position in range(cache.config.ways - 1,
-                              self._min_position - 1, -1):
-            way = cache.lru_position(set_index, position)
-            if way in valid and not cache.is_shadow(set_index, way):
-                cache.set_shadow(set_index, way, True)
-                return
+        cache.shadow_candidate(self.rng.randrange(cache.config.sets),
+                               self._min_position)
 
 
 class ProtectedCache:
     """A cache (or TLB) guarded by an inversion scheme."""
+
+    __slots__ = ("cache", "scheme", "seed")
 
     def __init__(
         self,
@@ -396,14 +462,29 @@ class ProtectedCache:
     ) -> None:
         self.cache = cache
         self.scheme = scheme
+        self.seed = seed
         scheme.attach(cache, random.Random(seed))
 
     def access(self, address: int) -> bool:
         return self.scheme.access(address)
 
+    def replay(self, addresses) -> int:
+        """Replay a whole address stream; returns the number of hits."""
+        return self.scheme.replay(addresses)
+
     def translate(self, address: int) -> bool:
         """TLB-compatible alias of :meth:`access`."""
         return self.scheme.access(address)
+
+    def reset(self) -> None:
+        """Cold cache + scheme re-attached with the original seed.
+
+        Replaying the same stream after a reset reproduces the first
+        run bit-exactly (the scheme RNG is rebuilt from ``seed``).
+        """
+        self.cache.reset()
+        self.scheme.reset()
+        self.scheme.attach(self.cache, random.Random(self.seed))
 
     @property
     def stats(self):
@@ -492,22 +573,24 @@ def run_cache_study(
     base_rates: List[float] = []
     scheme_rates: List[float] = []
     inverted_ratios: List[float] = []
-    scheme_name = "baseline"
+    # One factory probe names the scheme even when ``address_streams``
+    # is empty (deriving it from a loop side effect used to mislabel
+    # empty studies as "baseline").
+    scheme_name = (
+        "baseline" if scheme_factory is None else scheme_factory().name
+    )
     for stream_index, stream in enumerate(address_streams):
         baseline = Cache(config)
-        for address in stream:
-            baseline.access(address)
+        baseline.replay(stream)
         base_rate = baseline.stats.miss_rate
 
         if scheme_factory is None:
             scheme_rate = base_rate
         else:
             scheme = scheme_factory()
-            scheme_name = scheme.name
             protected = ProtectedCache(Cache(config), scheme,
                                        seed=seed + stream_index)
-            for address in stream:
-                protected.access(address)
+            protected.replay(stream)
             scheme_rate = protected.stats.miss_rate
             inverted_ratios.append(
                 protected.cache.inverted_count() / config.lines

@@ -294,8 +294,7 @@ def run_victim_policy_point(params: Mapping[str, Any]) -> Dict[str, Any]:
                             lambda: AnyPositionLineFixedScheme(ratio),
                             [stream], seed=seed)
     baseline = Cache(config)
-    for address in stream:
-        baseline.access(address)
+    baseline.replay(stream)
     return {
         "lru_loss": lru.mean_loss,
         "naive_loss": naive.mean_loss,
@@ -312,6 +311,7 @@ class AnyPositionLineFixedScheme(_LineFixedScheme):
         self.name = f"AnyPosition{int(round(ratio * 100))}%"
 
     def maintain(self):
+        # inverted_count() is the cache's O(1) incremental counter.
         if self.cache.inverted_count() < self.threshold:
             set_index = self.rng.randrange(self.cache.config.sets)
             valid = self.cache.valid_ways(set_index)

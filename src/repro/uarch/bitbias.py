@@ -74,10 +74,19 @@ class BitBiasAccumulator:
             raise ValueError("entries and width must be positive")
         self.entries = entries
         self.width = width
+        self.initial_value = initial_value
         self.time_zero = np.zeros((entries, width), dtype=np.float64)
         self.time_one = np.zeros((entries, width), dtype=np.float64)
         self._bits = np.tile(unpack_bits(initial_value, width), (entries, 1))
         self._since = np.zeros(entries, dtype=np.float64)
+
+    def reset(self) -> None:
+        """Discard all residency history and restart at time zero."""
+        self.time_zero.fill(0.0)
+        self.time_one.fill(0.0)
+        self._bits = np.tile(unpack_bits(self.initial_value, self.width),
+                             (self.entries, 1))
+        self._since.fill(0.0)
 
     # ------------------------------------------------------------------
     # Mutation

@@ -191,124 +191,186 @@ class TraceDrivenCore:
         self._ready: Dict[Tuple[bool, int], float] = {}
         #: architectural register namespace -> current physical mapping
         self._mapping: Dict[Tuple[bool, int], int] = {}
-        #: per-cycle issued-uop counts for issue-width contention
+        #: sliding window of per-cycle issued-uop counts for issue-width
+        #: contention; cycles older than the allocation front are pruned
+        #: by :meth:`run`, so its size stays bounded by the run-ahead
+        #: distance instead of growing with trace length.
         self._issue_use: Dict[int, int] = {}
-        #: per-cycle retired-uop counts for retire-width spreading
-        self._retire_use: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Restore all per-run state so the core can replay a new trace.
+
+        Called automatically at the top of :meth:`run`: replaying the
+        same trace twice through one core yields identical results.
+        Externally-supplied ``dl0``/``dtlb`` substitutes are reset when
+        they expose a ``reset()`` method and left untouched otherwise.
+        """
+        self.int_rf.reset()
+        self.fp_rf.reset()
+        self.scheduler.reset()
+        self.mob.reset()
+        self.adders.reset()
+        for unit in (self.dl0, self.dtlb):
+            unit_reset = getattr(unit, "reset", None)
+            if unit_reset is not None:
+                unit_reset()
+        self._ready.clear()
+        self._mapping.clear()
+        self._issue_use.clear()
 
     # ------------------------------------------------------------------
     def run(self, trace: Trace) -> CoreResult:
         """Replay one trace and return the collected statistics."""
+        self.reset()
+        # Hoisted hot-loop state: the per-uop loop below runs for every
+        # trace uop, so config fields, structures and bound methods are
+        # bound to locals once.
+        config = self.config
+        alloc_width = config.alloc_width
+        retire_width = config.retire_width
+        redirect_penalty = config.redirect_penalty
+        dtlb_miss_penalty = config.dtlb_miss_penalty
+        dl0_miss_penalty = config.dl0_miss_penalty
+        rob = config.rob_entries
+        scheduler = self.scheduler
+        hooks = self.hooks
+        int_rf, fp_rf = self.int_rf, self.fp_rf
+        mob_allocate = self.mob.allocate
+        dtlb_translate = self.dtlb.translate
+        dl0_access = self.dl0.access
+        ready_times = self._ready
+        mapping = self._mapping
+        issue_use = self._issue_use
+        stall_for_space = self._stall_for_space
+        find_issue_cycle = self._find_issue_cycle
+
         alloc_cycle = 0.0
         allocs_this_cycle = 0
         last_complete = 0.0
         # In-order retirement pointer: a uop retires (and frees the
         # previous mapping of its destination) no earlier than every
-        # older uop's completion.
+        # older uop's completion.  Since the pointer never moves
+        # backwards, retire-width spreading needs only the count within
+        # the current retire cycle, not a per-cycle map.
         retire_t = 0.0
-        #: retirement time per uop index, for the ROB-occupancy stall.
-        retire_times: List[float] = []
-        rob = self.config.rob_entries
+        retire_cycle = -1
+        retired_in_cycle = 0
+        #: ring buffer of the last ``rob`` retirement times, for the
+        #: ROB-occupancy stall (slot ``index % rob`` holds the time of
+        #: uop ``index - rob`` when uop ``index`` allocates).
+        retire_ring = [0.0] * rob
 
         for index, uop in enumerate(trace):
             # --- allocate ------------------------------------------------
-            if allocs_this_cycle >= self.config.alloc_width:
+            if allocs_this_cycle >= alloc_width:
                 alloc_cycle += 1.0
                 allocs_this_cycle = 0
-            alloc_t = self._stall_for_space(uop, alloc_cycle)
+            alloc_t = stall_for_space(uop, alloc_cycle)
             if index >= rob:
                 # The ROB entry of the (index - rob)-th uop must retire
                 # before this uop can allocate.
-                alloc_t = max(alloc_t, retire_times[index - rob])
+                rob_free_t = retire_ring[index % rob]
+                if rob_free_t > alloc_t:
+                    alloc_t = rob_free_t
             if alloc_t > alloc_cycle:
                 alloc_cycle = alloc_t
                 allocs_this_cycle = 0
             allocs_this_cycle += 1
+            if len(issue_use) > 1024:
+                # Issue lookups never fall behind the allocation front:
+                # drop the dead cycles so the window stays bounded.
+                floor = int(alloc_cycle)
+                for cycle in [c for c in issue_use if c < floor]:
+                    del issue_use[cycle]
 
-            slot = self.scheduler.allocate(alloc_t)
+            slot = scheduler.allocate(alloc_t)
             assert slot is not None  # _stall_for_space guaranteed room
             mob_id = (
-                self.mob.allocate() if uop.uop_class.is_memory else None
+                mob_allocate() if uop.uop_class.is_memory else None
             )
-            rf = self.fp_rf if uop.is_fp else self.int_rf
+            is_fp = uop.is_fp
+            rf = fp_rf if is_fp else int_rf
             dst_entry: Optional[int] = None
             if uop.dst is not None:
                 dst_entry = rf.allocate(alloc_t)
                 assert dst_entry is not None
-            src1_tag = (
-                self._mapping.get((uop.is_fp, uop.src1), 0)
-                if uop.src1 is not None else 0
-            )
-            src2_tag = (
-                self._mapping.get((uop.is_fp, uop.src2), 0)
-                if uop.src2 is not None else 0
-            )
-            self.scheduler.fill(slot, uop, mob_id, alloc_t,
-                                dst_tag=dst_entry or 0,
-                                src1_tag=src1_tag, src2_tag=src2_tag)
-            self.hooks.on_scheduler_fill(self.scheduler, slot, uop, alloc_t)
+            src1 = uop.src1
+            src2 = uop.src2
+            src1_tag = mapping.get((is_fp, src1), 0) if src1 is not None else 0
+            src2_tag = mapping.get((is_fp, src2), 0) if src2 is not None else 0
+            scheduler.fill(slot, uop, mob_id, alloc_t,
+                           dst_tag=dst_entry or 0,
+                           src1_tag=src1_tag, src2_tag=src2_tag)
+            hooks.on_scheduler_fill(scheduler, slot, uop, alloc_t)
 
             # --- source readiness ---------------------------------------
             ready_t = alloc_t + 1.0
             arrivals: List[Tuple[float, str]] = []
-            for source, ready_field in ((uop.src1, "ready1"),
-                                        (uop.src2, "ready2")):
+            for source, ready_field in ((src1, "ready1"),
+                                        (src2, "ready2")):
                 if source is None:
                     continue
-                source_ready = self._ready.get((uop.is_fp, source), 0.0)
+                source_ready = ready_times.get((is_fp, source), 0.0)
                 arrivals.append((max(alloc_t, source_ready), ready_field))
-                ready_t = max(ready_t, source_ready)
+                if source_ready > ready_t:
+                    ready_t = source_ready
             # Apply in time order: a slot's residency intervals must close
             # monotonically even when src2 arrives before src1.
             for arrival, ready_field in sorted(arrivals):
-                self.scheduler.set_field(slot, ready_field, 1, arrival)
+                scheduler.set_field(slot, ready_field, 1, arrival)
 
             # --- issue ---------------------------------------------------
-            issue_t = self._find_issue_cycle(uop, ready_t)
-            self.scheduler.release(slot, issue_t + 1.0)
-            self.hooks.on_scheduler_release(self.scheduler, slot,
-                                            issue_t + 1.0)
+            issue_t = find_issue_cycle(uop, ready_t)
+            scheduler.release(slot, issue_t + 1.0)
+            hooks.on_scheduler_release(scheduler, slot, issue_t + 1.0)
 
             # --- execute -------------------------------------------------
             latency = float(uop.latency)
             if uop.uop_class.is_memory:
                 assert uop.address is not None
-                if not self.dtlb.translate(uop.address):
-                    latency += self.config.dtlb_miss_penalty
-                if not self.dl0.access(uop.address):
-                    latency += self.config.dl0_miss_penalty
+                if not dtlb_translate(uop.address):
+                    latency += dtlb_miss_penalty
+                if not dl0_access(uop.address):
+                    latency += dl0_miss_penalty
             complete_t = issue_t + latency
-            last_complete = max(last_complete, complete_t)
+            if complete_t > last_complete:
+                last_complete = complete_t
             # Retirement is in order and capacity-limited: without the
             # retire-width spread, long-latency stragglers make whole
             # backlogs retire in one cycle and transiently exhaust the
             # register-file write ports.
-            retire_t = max(retire_t, complete_t)
-            while self._retire_use.get(int(retire_t), 0) >= \
-                    self.config.retire_width:
-                retire_t = float(int(retire_t) + 1)
+            if complete_t > retire_t:
+                retire_t = complete_t
             cycle = int(retire_t)
-            self._retire_use[cycle] = self._retire_use.get(cycle, 0) + 1
-            retire_times.append(retire_t)
+            if cycle > retire_cycle:
+                retire_cycle = cycle
+                retired_in_cycle = 0
+            if retired_in_cycle >= retire_width:
+                retire_cycle += 1
+                retired_in_cycle = 0
+                retire_t = float(retire_cycle)
+            retired_in_cycle += 1
+            retire_ring[index % rob] = retire_t
 
             # --- writeback / retire -------------------------------------
             if uop.dst is not None and dst_entry is not None:
                 rf.write(dst_entry, uop.result_value, complete_t)
-                self.hooks.on_regfile_write(rf, dst_entry,
-                                            uop.result_value, complete_t)
-                namespace = (uop.is_fp, uop.dst)
-                previous = self._mapping.get(namespace)
+                hooks.on_regfile_write(rf, dst_entry,
+                                       uop.result_value, complete_t)
+                namespace = (is_fp, uop.dst)
+                previous = mapping.get(namespace)
                 if previous is not None:
                     rf.release(previous, retire_t)
-                    self.hooks.on_regfile_release(rf, previous, retire_t)
-                self._mapping[namespace] = dst_entry
-                self._ready[namespace] = complete_t
+                    hooks.on_regfile_release(rf, previous, retire_t)
+                mapping[namespace] = dst_entry
+                ready_times[namespace] = complete_t
 
             # --- mispredict redirect ------------------------------------
             if uop.mispredicted:
                 # The frontend refills from the resolved target: younger
                 # uops cannot allocate until the redirect completes.
-                drain_until = complete_t + self.config.redirect_penalty
+                drain_until = complete_t + redirect_penalty
                 if drain_until > alloc_cycle:
                     alloc_cycle = drain_until
                     allocs_this_cycle = 0

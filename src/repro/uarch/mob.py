@@ -22,6 +22,12 @@ class MemoryOrderBuffer:
         self._outstanding: Dict[int, int] = {}
         self.allocations = 0
 
+    def reset(self) -> None:
+        """Restart the round-robin pointer and usage accounting."""
+        self._next = 0
+        self._outstanding = {}
+        self.allocations = 0
+
     def allocate(self) -> int:
         """Next MOB id in round-robin order.
 

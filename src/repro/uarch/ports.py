@@ -32,7 +32,7 @@ class AdderPolicy(enum.Enum):
     UNIFORM = "uniform"
 
 
-@dataclass
+@dataclass(slots=True)
 class AdderSlot:
     """One adder instance bound to an issue port."""
 
@@ -69,13 +69,23 @@ class AdderPool:
         if sample_capacity <= 0:
             raise ValueError("sample_capacity must be positive")
         self.policy = policy
-        self.adders = [AdderSlot(i) for i in range(n_adders)]
         self.sample_capacity = sample_capacity
+        self._n_adders = n_adders
+        self._seed = seed
+        self._init_run_state()
+
+    def _init_run_state(self) -> None:
+        n_adders = self._n_adders
+        self.adders = [AdderSlot(i) for i in range(n_adders)]
         self._samples: List[List[AdderVector]] = [[] for _ in range(n_adders)]
         self._seen: List[int] = [0] * n_adders
-        self._rng = random.Random(seed)
+        self._rng = random.Random(self._seed)
         self._rr = 0
         self._horizon = 0.0
+
+    def reset(self) -> None:
+        """Restore the freshly-constructed state, re-seeding the RNG."""
+        self._init_run_state()
 
     # ------------------------------------------------------------------
     def issue(self, uop: Uop, cycle: float, duration: float = 1.0) -> Optional[int]:

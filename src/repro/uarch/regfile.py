@@ -89,6 +89,10 @@ class RegisterFile:
         self.width = width
         self.write_ports = write_ports
         self.bias = BitBiasAccumulator(entries, width, initial_value)
+        self._init_run_state()
+
+    def _init_run_state(self) -> None:
+        entries = self.entries
         # (available_time, tiebreak, entry); FIFO tiebreak keeps reuse fair.
         self._free: List[Tuple[float, int, int]] = [
             (0.0, i, i) for i in range(entries)
@@ -107,6 +111,11 @@ class RegisterFile:
         self._port_checks = 0
         self._port_free_hits = 0
         self._horizon = 0.0
+
+    def reset(self) -> None:
+        """Restore the freshly-constructed state (reusable across runs)."""
+        self.bias.reset()
+        self._init_run_state()
 
     # ------------------------------------------------------------------
     # Workload interface

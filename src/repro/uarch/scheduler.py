@@ -87,6 +87,10 @@ class Scheduler:
         self.alloc_ports = alloc_ports
         self._offsets = layout.bit_offsets()
         self.bias = BitBiasAccumulator(entries, layout.total_bits)
+        self._init_run_state()
+
+    def _init_run_state(self) -> None:
+        entries = self.entries
         self._slot_value: List[int] = [0] * entries
         self._free: List[Tuple[float, int, int]] = [
             (0.0, i, i) for i in range(entries)
@@ -103,6 +107,11 @@ class Scheduler:
         self._port_checks = 0
         self._port_free_hits = 0
         self._horizon = 0.0
+
+    def reset(self) -> None:
+        """Restore the freshly-constructed state (reusable across runs)."""
+        self.bias.reset()
+        self._init_run_state()
 
     # ------------------------------------------------------------------
     # Workload interface

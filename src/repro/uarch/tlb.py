@@ -51,6 +51,8 @@ class TLBConfig:
 class TLB(Cache):
     """A data TLB: a page-granular cache of translations."""
 
+    __slots__ = ("tlb_config",)
+
     def __init__(self, config: TLBConfig) -> None:
         super().__init__(config.cache_config())
         self.tlb_config = config

@@ -17,6 +17,7 @@ class TestParser:
             "list-suites": ["list-suites"],
             "sweep": ["sweep", "caches"],
             "results": ["results"],
+            "bench-smoke": ["bench-smoke", "--scale", "50"],
         }
         for argv in invocations.values():
             args = parser.parse_args(argv)
@@ -109,6 +110,25 @@ class TestCommands:
         out = capsys.readouterr().out
         for name in study_names():
             assert name in out
+
+    def test_bench_smoke_rejects_bad_inputs(self, capsys, tmp_path):
+        assert main(["bench-smoke", "--path",
+                     str(tmp_path / "missing")]) == 2
+        assert "not found" in capsys.readouterr().err
+        assert main(["bench-smoke", "--scale", "0"]) == 2
+        assert "--scale" in capsys.readouterr().err
+
+    def test_bench_smoke_executes_selected_bench(self, capsys,
+                                                 tmp_path, monkeypatch):
+        # One real (fast) bench through the full smoke plumbing: env
+        # wiring, bench_*.py collection override, artefact redirect.
+        monkeypatch.delenv("REPRO_BENCH_SMOKE", raising=False)
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        results = tmp_path / "smoke-results"
+        assert main(["bench-smoke", "--scale", "50",
+                     "--results-dir", str(results),
+                     "--only", "fig1"]) == 0
+        assert (results / "fig1_nbti_physics.json").exists()
 
     def test_sweep_unknown_study(self, capsys):
         assert main(["sweep", "bogus", "--suites", "office",

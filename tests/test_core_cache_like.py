@@ -197,6 +197,15 @@ class TestRunCacheStudy:
         assert result.mean_loss == 0.0
         assert result.scheme_name == "baseline"
 
+    def test_scheme_name_without_streams(self):
+        # Regression: with no streams the name used to come from a loop
+        # side effect and silently fell back to "baseline".
+        result = run_cache_study(CONFIG, lambda: LineFixedScheme(0.5), [])
+        assert result.scheme_name == "LineFixed50%"
+        assert result.per_stream_loss == ()
+        baseline = run_cache_study(CONFIG, None, [])
+        assert baseline.scheme_name == "baseline"
+
     def test_linefixed_study_fields(self):
         streams = [
             generate_address_stream("office", 2000, seed=1),

@@ -75,6 +75,29 @@ class TestCacheBasics:
         cache.reset_stats()
         assert cache.stats.accesses == 0
 
+    def test_replay_counts_hits(self):
+        cache = small_cache()
+        assert cache.replay([0x100, 0x100, 0x200, 0x100]) == 2
+        assert cache.stats.accesses == 4
+        assert cache.stats.hits == 2
+        assert cache.stats.misses == 2
+
+    def test_reset_restores_cold_state(self):
+        cache = small_cache()
+        cache.access(0x100)
+        set_index, __ = cache.index_of(0x100)
+        cache.invert_line(set_index, cache.valid_ways(set_index)[0])
+        cache.set_shadow(set_index, 1, True)
+        cache.allow_inverted_victims = False
+        cache.reset()
+        assert cache.stats.accesses == 0
+        assert cache.inverted_count() == 0
+        assert cache.shadow_count() == 0
+        assert cache.allow_inverted_victims
+        assert not cache.probe(0x100)
+        # LRU stacks are back to construction order.
+        assert cache.lru_position(set_index, 0) == 0
+
 
 class TestInversionStates:
     def test_invert_line_makes_it_unusable(self):

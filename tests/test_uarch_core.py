@@ -30,6 +30,38 @@ class TestBasicExecution:
         assert a.cycles == b.cycles
         assert a.dl0.misses == b.dl0.misses
 
+    def test_core_is_reusable_across_runs(self, small_trace):
+        # Regression: the second run() on one instance used to raise
+        # "time went backwards" (stale _ready/_mapping/bias timelines).
+        core = TraceDrivenCore()
+        first = core.run(small_trace)
+        second = core.run(small_trace)
+        assert first.cycles == second.cycles
+        assert first.dl0 == second.dl0
+        assert first.dtlb == second.dtlb
+        assert first.scheduler.allocations == second.scheduler.allocations
+        assert first.scheduler.occupancy == second.scheduler.occupancy
+        assert first.int_rf.allocations == second.int_rf.allocations
+        assert first.int_rf.worst_bias == second.int_rf.worst_bias
+        assert (first.int_rf.bias_to_zero
+                == second.int_rf.bias_to_zero).all()
+        assert first.fp_rf.worst_bias == second.fp_rf.worst_bias
+        assert first.adder_utilization == second.adder_utilization
+        assert first.adder_samples == second.adder_samples
+
+    def test_reused_core_matches_fresh_core(self, small_trace, fp_trace):
+        # Interleave two different traces: each run must match what a
+        # fresh core produces for that trace.
+        core = TraceDrivenCore()
+        mixed = [core.run(small_trace), core.run(fp_trace),
+                 core.run(small_trace)]
+        fresh_small = TraceDrivenCore().run(small_trace)
+        fresh_fp = TraceDrivenCore().run(fp_trace)
+        assert mixed[0].cycles == fresh_small.cycles
+        assert mixed[1].cycles == fresh_fp.cycles
+        assert mixed[2].cycles == fresh_small.cycles
+        assert mixed[1].dl0 == fresh_fp.dl0
+
     def test_dependency_serialisation(self):
         # A chain of dependent ALU ops cannot run faster than one per
         # cycle; independent ones can.
