@@ -6,7 +6,7 @@ only).  Paper's Penelope processor: 1.28.
 """
 
 from repro.analysis import format_table
-from repro.core import PenelopeProcessor
+from repro.api import build_penelope
 from repro.core.metric import (
     baseline_block_cost,
     invert_periodically_cost,
@@ -17,7 +17,8 @@ from conftest import SMOKE, write_result
 
 
 def evaluate(workload):
-    return PenelopeProcessor(seed=4321).evaluate(workload)
+    # Default specs = the full Penelope configuration (DESIGN.md §4).
+    return build_penelope(seed=4321).evaluate(workload)
 
 
 def test_sec47_processor_efficiency(benchmark, workload):

@@ -8,17 +8,14 @@ grow as the structure shrinks; all losses are small (sub-3%).
 import pytest
 
 from repro.analysis import format_table
+from repro.api import build_scheme
+from repro.config import CacheGeometrySpec, MechanismSpec, TLBGeometrySpec
 from repro.core.cache_like import (
     DL0_EFFECTIVE_PENALTY,
     DTLB_EFFECTIVE_PENALTY,
-    LineDynamicScheme,
-    LineFixedScheme,
     PAPER_DYNAMIC_THRESHOLDS,
-    SetFixedScheme,
     run_cache_study,
 )
-from repro.uarch.cache import CacheConfig
-from repro.uarch.tlb import TLBConfig
 from repro.workloads import generate_address_stream, suite_names
 
 from conftest import SMOKE, scaled, write_result
@@ -26,12 +23,12 @@ from conftest import SMOKE, scaled, write_result
 STREAM_LENGTH = scaled(20_000)
 
 DL0_CONFIGS = [
-    CacheConfig(name=f"DL0-{kb}K-{ways}w", size_bytes=kb * 1024, ways=ways)
+    CacheGeometrySpec(size_kb=kb, ways=ways).to_cache_config()
     for ways in (8, 4)
     for kb in (32, 16, 8)
 ]
 DTLB_CONFIGS = [
-    TLBConfig(name=f"DTLB-{entries}", entries=entries, ways=8)
+    TLBGeometrySpec(entries=entries, ways=8).to_tlb_config()
     for entries in (128, 64, 32)
 ]
 
@@ -55,14 +52,19 @@ def streams():
     ]
 
 
+def _factory(mechanism: MechanismSpec):
+    """Zero-arg scheme factory resolved through the component registry."""
+    return lambda: build_scheme(mechanism)
+
+
 def _dynamic_factory(threshold):
-    return lambda: LineDynamicScheme(
-        ratio=0.6,
-        threshold=threshold,
-        warmup=2000,
-        test_window=2000,
-        period=10_000,
-    )
+    return _factory(MechanismSpec("line_dynamic", {
+        "ratio": 0.6,
+        "threshold": threshold,
+        "warmup": 2000,
+        "test_window": 2000,
+        "period": 10_000,
+    }))
 
 
 def _threshold_for(name):
@@ -76,8 +78,10 @@ def run_table3(streams):
     for config in DL0_CONFIGS:
         cache_config = config
         schemes = {
-            "SetFixed50%": lambda: SetFixedScheme(0.5),
-            "LineFixed50%": lambda: LineFixedScheme(0.5),
+            "SetFixed50%": _factory(MechanismSpec("set_fixed",
+                                                  {"ratio": 0.5})),
+            "LineFixed50%": _factory(MechanismSpec("line_fixed",
+                                                   {"ratio": 0.5})),
             "LineDynamic60%": _dynamic_factory(_threshold_for(config.name)),
         }
         row = [config.name]
@@ -93,8 +97,10 @@ def run_table3(streams):
     for config in DTLB_CONFIGS:
         cache_config = config.cache_config()
         schemes = {
-            "SetFixed50%": lambda: SetFixedScheme(0.5),
-            "LineFixed50%": lambda: LineFixedScheme(0.5),
+            "SetFixed50%": _factory(MechanismSpec("set_fixed",
+                                                  {"ratio": 0.5})),
+            "LineFixed50%": _factory(MechanismSpec("line_fixed",
+                                                   {"ratio": 0.5})),
             "LineDynamic60%": _dynamic_factory(_threshold_for(config.name)),
         }
         row = [config.name]

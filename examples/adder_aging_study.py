@@ -13,23 +13,23 @@ Run:  python examples/adder_aging_study.py
 
 import numpy as np
 
+from repro import api
 from repro.analysis import format_series
 from repro.circuits import build_ladner_fischer_adder
+from repro.config import ProcessorSpec
 from repro.core.combinational import (
     adder_guardband_study,
     search_best_pair,
 )
-from repro.uarch import CoreConfig, TraceDrivenCore
-from repro.uarch.ports import AdderPolicy
 from repro.workloads import TraceGenerator
 
 
-def measure_utilization(policy: AdderPolicy, suites) -> tuple:
+def measure_utilization(policy: str, suites) -> tuple:
     generator = TraceGenerator(seed=7)
     utilizations = []
     vectors = []
     # One core serves every suite: run() resets all per-run state.
-    core = TraceDrivenCore(CoreConfig(adder_policy=policy))
+    core = api.build_core(ProcessorSpec(adder_policy=policy))
     for suite in suites:
         trace = generator.generate(suite, length=4000)
         result = core.run(trace)
@@ -43,8 +43,8 @@ def main() -> None:
     suites = ["specint2000", "multimedia", "office"]
 
     print("== Step 1: adder utilisation per allocation policy ==")
-    uniform, vectors = measure_utilization(AdderPolicy.UNIFORM, suites)
-    priority, __ = measure_utilization(AdderPolicy.PRIORITY, suites)
+    uniform, vectors = measure_utilization("uniform", suites)
+    priority, __ = measure_utilization("priority", suites)
     print(f"  uniform:  {[f'{u:.1%}' for u in uniform]} "
           f"(paper: ~21% each)")
     print(f"  priority: {[f'{u:.1%}' for u in priority]} "

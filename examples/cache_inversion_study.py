@@ -5,39 +5,51 @@ Compares the three invalidate-and-invert schemes on a DL0 configuration
 across the ten Table 1 suites, showing per-suite losses and the dynamic
 scheme's activation decisions.
 
-Driven through the experiment engine: two declarative sweeps (the fixed
-schemes at K=50%, the dynamic scheme at K=60%) expand to one point per
-(scheme, suite); pass ``--workers N`` to fan them out over processes.
+Driven through the declarative API: two ``StudySpec``\ s (the fixed
+schemes at K=50%, the dynamic scheme at K=60%) whose sweep axes are
+spec field paths; each expands to one point per (scheme, suite).  Pass
+``--workers N`` to fan them out over processes.
 
 Run:  python examples/cache_inversion_study.py [--workers N]
 """
 
 import argparse
 
+from repro import api
 from repro.analysis import format_table
-from repro.experiments import SweepRunner, SweepSpec, group_results
+from repro.config import (
+    CacheGeometrySpec,
+    MechanismSpec,
+    ProcessorSpec,
+    ProtectionSpec,
+    StudySpec,
+    WorkloadSpec,
+)
+from repro.experiments import group_results
 from repro.workloads import suite_names
 
-LENGTH = 15_000
-SEED = 5
-GEOMETRY = {"size_kb": 16, "ways": 8}
+PROCESSOR = ProcessorSpec(dl0=CacheGeometrySpec(size_kb=16, ways=8))
+WORKLOAD = WorkloadSpec(suites=tuple(suite_names()), length=15_000,
+                        seed=5)
 
-FIXED_SPEC = SweepSpec(
+FIXED_SPEC = StudySpec(
     "caches",
-    base={"length": LENGTH, "seed": SEED, "ratio": 0.5, **GEOMETRY},
-    grid={"scheme": ["set_fixed", "line_fixed"],
-          "suite": suite_names()},
+    processor=PROCESSOR,
+    protection=ProtectionSpec(
+        dl0=MechanismSpec("line_fixed", {"ratio": 0.5})),
+    workload=WORKLOAD,
+    sweep={"protection.dl0.name": ["set_fixed", "line_fixed"]},
 )
 
-DYNAMIC_SPEC = SweepSpec(
+DYNAMIC_SPEC = StudySpec(
     "caches",
-    base={
-        "length": LENGTH, "seed": SEED, "ratio": 0.6,
-        "scheme": "line_dynamic", "dyn_threshold": 0.03,
-        "dyn_warmup": 1500, "dyn_test_window": 1500,
-        "dyn_period": 8000, **GEOMETRY,
-    },
-    grid={"suite": suite_names()},
+    processor=PROCESSOR,
+    protection=ProtectionSpec(
+        dl0=MechanismSpec("line_dynamic", {
+            "ratio": 0.6, "threshold": 0.03, "warmup": 1500,
+            "test_window": 1500, "period": 8000,
+        })),
+    workload=WORKLOAD,
 )
 
 
@@ -46,9 +58,10 @@ def main(argv=None) -> None:
     parser.add_argument("--workers", type=int, default=1)
     args = parser.parse_args(argv)
 
-    runner = SweepRunner(store=None, workers=args.workers)
-    results = (runner.run(FIXED_SPEC).results
-               + runner.run(DYNAMIC_SPEC).results)
+    results = (
+        api.run_study(FIXED_SPEC, workers=args.workers).results
+        + api.run_study(DYNAMIC_SPEC, workers=args.workers).results
+    )
 
     by_suite = group_results(results, ["suite"])
     scheme_columns = ["SetFixed50%", "LineFixed50%", "LineDynamic60%"]
@@ -68,7 +81,7 @@ def main(argv=None) -> None:
         ["suite", "base miss"] + scheme_columns,
         rows,
         title=(f"Per-suite performance loss on "
-               f"DL0-{GEOMETRY['size_kb']}K-{GEOMETRY['ways']}w"),
+               f"{PROCESSOR.dl0.to_cache_config().name}"),
     ))
 
     print("\nLineDynamic60% activation decisions per test period")

@@ -12,11 +12,12 @@ Walks the library bottom-up:
 Run:  python examples/quickstart.py
 """
 
+from repro import api
 from repro.analysis import format_series
 from repro.circuits import AgingSimulator, build_ladner_fischer_adder
-from repro.core import PenelopeProcessor, nbti_efficiency
+from repro.config import WorkloadSpec
+from repro.core import nbti_efficiency
 from repro.nbti import GuardbandModel, ReactionDiffusionModel
-from repro.workloads import generate_workload
 
 
 def demo_physics() -> None:
@@ -72,11 +73,11 @@ def demo_penelope() -> None:
     print("=" * 64)
     print("4. Penelope end to end")
     print("=" * 64)
-    workload = generate_workload(
-        traces_per_suite=1, length=6000,
-        suites=["specint2000", "office"],
-    )
-    report = PenelopeProcessor().evaluate(workload)
+    # The declarative front door: specs in, the usual typed report out.
+    workload = api.build_workload(WorkloadSpec(
+        suites=("specint2000", "office"), length=6000,
+    ))
+    report = api.build_penelope().evaluate(workload)
     print(f"  INT register file worst bias: "
           f"{report.int_rf_bias[0]:.1%} -> {report.int_rf_bias[1]:.1%}")
     print(f"  scheduler worst bias:         "

@@ -11,15 +11,21 @@ Run:  python examples/regfile_isv_study.py
 
 import numpy as np
 
+from repro import api
 from repro.analysis import merge_bias_arrays
-from repro.core.memory_like import ISVRegisterFileProtector
-from repro.uarch import TraceDrivenCore
-from repro.uarch.core import CompositeHooks
-from repro.uarch.uop import FP_WIDTH, INT_WIDTH
+from repro.config import MechanismSpec, ProtectionSpec
 from repro.workloads import TraceGenerator
 
 SUITES = ["specint2000", "specfp2000", "office"]
 LENGTH = 6000
+
+#: ISV on both register files only; every other structure unprotected.
+RF_ONLY = ProtectionSpec(
+    adder=MechanismSpec("none"),
+    scheduler=MechanismSpec("none"),
+    dl0=MechanismSpec("none"),
+    dtlb=MechanismSpec("none"),
+)
 
 
 def run(protected: bool):
@@ -28,15 +34,14 @@ def run(protected: bool):
     # Cores are reusable (run() resets per-run state); the protected
     # pass still builds one core per trace because the ISV protectors
     # themselves accumulate per-trace state.
-    baseline_core = TraceDrivenCore()
+    baseline_core = api.build_core()
     for suite in SUITES:
         trace = generator.generate(suite, length=LENGTH)
         if protected:
-            p_int = ISVRegisterFileProtector("int_rf", INT_WIDTH, 512.0)
-            p_fp = ISVRegisterFileProtector("fp_rf", FP_WIDTH, 512.0)
-            hooks = CompositeHooks([p_int, p_fp])
+            hooks = api.build_hooks(RF_ONLY)
+            p_int, p_fp = hooks.hooks
             protectors.append((p_int, p_fp))
-            core = TraceDrivenCore(hooks=hooks)
+            core = api.build_core(hooks=hooks)
         else:
             core = baseline_core
         results.append(core.run(trace))

@@ -13,6 +13,7 @@ from collections import Counter
 
 import numpy as np
 
+from repro import api
 from repro.analysis import merge_bias_arrays
 from repro.core.memory_like import (
     PAPER_SCHEDULER_POLICY,
@@ -20,7 +21,6 @@ from repro.core.memory_like import (
     SchedulerProtector,
     derive_scheduler_policy,
 )
-from repro.uarch import TraceDrivenCore
 from repro.workloads import TraceGenerator
 
 PROFILE_SUITES = ["specint2000", "multimedia"]
@@ -36,7 +36,7 @@ def main() -> None:
     occupancies = []
     for suite in PROFILE_SUITES:
         trace = generator.generate(suite, length=LENGTH)
-        result = TraceDrivenCore(hooks=profiler).run(trace)
+        result = api.build_core(hooks=profiler).run(trace)
         occupancies.append(result.scheduler.occupancy)
     occupancy = float(np.mean(occupancies))
     print(f"  profiled {profiler.fills} dispatches, "
@@ -58,8 +58,7 @@ def main() -> None:
             trace = generator.generate(suite, length=LENGTH,
                                        trace_index=1)
             hooks = hooks_factory()
-            core = (TraceDrivenCore(hooks=hooks)
-                    if hooks else TraceDrivenCore())
+            core = api.build_core(hooks=hooks)
             result = core.run(trace)
             biases.append(result.scheduler.flattened_bias())
             cycles.append(result.cycles)

@@ -12,18 +12,26 @@ Layered structure:
   metric (the paper's contribution).
 - :mod:`repro.experiments` — declarative sweeps, parallel execution
   and the cached result store (the run-coordination layer).
+- :mod:`repro.config` — typed, JSON-serialisable specs
+  (:class:`~repro.config.specs.ProcessorSpec`, ``ProtectionSpec``,
+  ``WorkloadSpec``, ``StudySpec``) and the string-keyed mechanism
+  registries.
+- :mod:`repro.api` — the facade building everything from those specs
+  (``build_core``, ``build_penelope``, ``run_study``).
 - :mod:`repro.analysis` — aggregation and report formatting.
 
 Quick start::
 
-    from repro.workloads import generate_workload
-    from repro.core import PenelopeProcessor
+    from repro import api
+    from repro.config import WorkloadSpec
+    from repro.workloads import suite_names
 
-    workload = generate_workload(traces_per_suite=1, length=5000)
-    report = PenelopeProcessor().evaluate(workload)
+    workload = api.build_workload(WorkloadSpec(
+        suites=tuple(suite_names()), length=5000))  # all Table 1 suites
+    report = api.build_penelope().evaluate(workload)
     print(report.efficiency, "vs baseline", report.baseline_efficiency)
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = ["__version__"]

@@ -1,0 +1,12 @@
+"""``python -m repro`` — the CLI without needing the console script.
+
+Equivalent to the installed ``repro`` entry point and to
+``python -m repro.cli``.
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

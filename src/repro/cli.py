@@ -13,6 +13,8 @@ Examples
     python -m repro.cli sweep caches --grid ratio=0.4,0.5,0.6 \\
         --grid ways=4,8 --workers 4
     python -m repro.cli results --study caches
+    python -m repro.cli show-config --study penelope > study.json
+    python -m repro.cli run --config study.json --verbose
 """
 
 from __future__ import annotations
@@ -74,22 +76,23 @@ def cmd_adder(args: argparse.Namespace) -> int:
 
 
 def cmd_regfile(args: argparse.Namespace) -> int:
-    from repro.core.memory_like import ISVRegisterFileProtector
-    from repro.uarch import TraceDrivenCore
-    from repro.uarch.core import CompositeHooks
-    from repro.uarch.uop import FP_WIDTH, INT_WIDTH
+    from repro import api
+    from repro.config import MechanismSpec, ProtectionSpec
     from repro.workloads import TraceGenerator
 
+    # ISV on both register files only; everything else unprotected.
+    protection = ProtectionSpec(
+        adder=MechanismSpec("none"),
+        scheduler=MechanismSpec("none"),
+        dl0=MechanismSpec("none"),
+        dtlb=MechanismSpec("none"),
+    )
     generator = TraceGenerator(seed=args.seed)
     rows = []
     for suite in args.suites:
         trace = generator.generate(suite, length=args.length)
-        base = TraceDrivenCore().run(trace)
-        hooks = CompositeHooks([
-            ISVRegisterFileProtector("int_rf", INT_WIDTH),
-            ISVRegisterFileProtector("fp_rf", FP_WIDTH),
-        ])
-        prot = TraceDrivenCore(hooks=hooks).run(trace)
+        base = api.build_core().run(trace)
+        prot = api.build_core(hooks=api.build_hooks(protection)).run(trace)
         rows.append([
             suite,
             f"{base.int_rf.worst_bias:.1%}",
@@ -104,33 +107,36 @@ def cmd_regfile(args: argparse.Namespace) -> int:
 
 
 def cmd_caches(args: argparse.Namespace) -> int:
-    from repro.core.cache_like import (
-        LineDynamicScheme,
-        LineFixedScheme,
-        SetFixedScheme,
-        run_cache_study,
+    from repro import api
+    from repro.config import (
+        CacheGeometrySpec,
+        MechanismSpec,
+        SpecError,
+        WorkloadSpec,
     )
-    from repro.uarch.cache import CacheConfig
-    from repro.workloads import generate_address_stream
+    from repro.core.cache_like import run_cache_study
 
-    config = CacheConfig(
-        name=f"DL0-{args.size_kb}K-{args.ways}w",
-        size_bytes=args.size_kb * 1024,
-        ways=args.ways,
-    )
-    streams = [
-        generate_address_stream(suite, length=args.length * 3,
-                                seed=args.seed)
-        for suite in args.suites
-    ]
+    try:
+        config = CacheGeometrySpec(
+            size_kb=args.size_kb, ways=args.ways
+        ).to_cache_config()
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    streams = api.build_address_streams(WorkloadSpec(
+        suites=tuple(args.suites), length=args.length * 3, seed=args.seed,
+    ))
     rows = []
-    for factory in (
-        lambda: SetFixedScheme(0.5),
-        lambda: LineFixedScheme(0.5),
-        lambda: LineDynamicScheme(ratio=0.6, warmup=1000,
-                                  test_window=1000, period=6000),
+    for mechanism in (
+        MechanismSpec("set_fixed", {"ratio": 0.5}),
+        MechanismSpec("line_fixed", {"ratio": 0.5}),
+        MechanismSpec("line_dynamic", {"ratio": 0.6, "warmup": 1000,
+                                       "test_window": 1000,
+                                       "period": 6000}),
     ):
-        study = run_cache_study(config, factory, streams)
+        study = run_cache_study(
+            config, lambda: api.build_scheme(mechanism), streams
+        )
         rows.append([study.scheme_name, f"{study.mean_loss:.2%}",
                      f"{study.mean_inverted_ratio:.0%}"])
     print(format_table(
@@ -141,14 +147,15 @@ def cmd_caches(args: argparse.Namespace) -> int:
 
 
 def cmd_penelope(args: argparse.Namespace) -> int:
-    from repro.core import PenelopeProcessor
-    from repro.workloads import generate_workload
+    from repro import api
+    from repro.config import WorkloadSpec
 
-    workload = generate_workload(
-        traces_per_suite=1, length=args.length,
-        suites=args.suites, seed=args.seed,
+    workload_spec = WorkloadSpec(
+        suites=tuple(args.suites), length=args.length,
+        traces_per_suite=1, seed=args.seed,
     )
-    report = PenelopeProcessor(seed=args.seed).evaluate(workload)
+    workload = api.build_workload(workload_spec)
+    report = api.build_penelope(seed=args.seed).evaluate(workload)
     rows = [
         [b.name, f"{b.guardband:.1%}", f"{b.efficiency:.2f}"]
         for b in report.block_costs
@@ -180,12 +187,56 @@ def cmd_list_suites(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_sweep_and_report(spec, *, workers, store, verbose, group_by,
+                          metrics_arg, agg, intro, title) -> int:
+    """Execute an expanded sweep and print plan, progress, summary,
+    and footer — shared by ``sweep`` and ``run``."""
+    from repro.experiments import SweepRunner, format_summary
+
+    shown = [0]
+
+    def progress(result):
+        shown[0] += 1
+        tag = ("cached" if result.cached
+               else f"{result.elapsed:6.2f}s")
+        print(f"  [{shown[0]:3d}/{spec.size}] {tag}  "
+              f"{result.point.describe()}")
+
+    runner = SweepRunner(store=store, workers=workers,
+                         progress=progress if verbose else None)
+    print(f"{intro}: {spec.size} points over axes "
+          f"{', '.join(spec.axis_names())} ({workers} worker"
+          f"{'s' if workers != 1 else ''})")
+    outcome = runner.run(spec)
+
+    metrics = metrics_arg.split(",") if metrics_arg else ()
+    if outcome.results and metrics:
+        from repro.experiments import metric_names
+
+        known_metrics = set(metric_names(outcome.results))
+        bad = [m for m in metrics if m not in known_metrics]
+        if bad:
+            print(f"error: unknown metric(s) {', '.join(bad)}; "
+                  f"available: {', '.join(sorted(known_metrics))}",
+                  file=sys.stderr)
+            return 2
+    print(format_summary(
+        outcome.results, group_by=group_by,
+        metrics=metrics,
+        agg=agg,
+        title=title,
+    ))
+    print(f"{len(outcome)} points in {outcome.wall_time:.2f}s: "
+          f"{outcome.cache_hits} cache hits, "
+          f"{outcome.executed} executed"
+          + ("" if store else " (store disabled)"))
+    return 0
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments import (
         ResultStore,
-        SweepRunner,
         SweepSpec,
-        format_summary,
         get_study,
         parse_grid_option,
     )
@@ -229,21 +280,17 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             )
 
         store = None if args.no_store else ResultStore(args.store)
-        shown = [0]
-
-        def progress(result):
-            shown[0] += 1
-            tag = ("cached" if result.cached
-                   else f"{result.elapsed:6.2f}s")
-            print(f"  [{shown[0]:3d}/{spec.size}] {tag}  "
-                  f"{result.point.describe()}")
-
-        runner = SweepRunner(store=store, workers=args.workers,
-                             progress=progress if args.verbose else None)
-        print(f"sweep {args.study!r}: {spec.size} points over axes "
-              f"{', '.join(spec.axis_names())} ({args.workers} worker"
-              f"{'s' if args.workers != 1 else ''})")
-        outcome = runner.run(spec)
+        return _run_sweep_and_report(
+            spec,
+            workers=args.workers,
+            store=store,
+            verbose=args.verbose,
+            group_by=group_by,
+            metrics_arg=args.metrics,
+            agg=args.agg,
+            intro=f"sweep {args.study!r}",
+            title=f"sweep {args.study}: {study.description}",
+        )
     except (ValueError, KeyError) as exc:
         # Bad grid syntax, unknown scheme value, unknown suite passed
         # via --grid suite=..., workers < 1, ...
@@ -251,27 +298,53 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(f"error: {message}", file=sys.stderr)
         return 2
 
-    metrics = args.metrics.split(",") if args.metrics else ()
-    if outcome.results:
-        from repro.experiments import metric_names
 
-        known_metrics = set(metric_names(outcome.results))
-        bad = [m for m in metrics if m not in known_metrics]
-        if bad:
-            print(f"error: unknown metric(s) {', '.join(bad)}; "
-                  f"available: {', '.join(sorted(known_metrics))}",
-                  file=sys.stderr)
-            return 2
-    print(format_summary(
-        outcome.results, group_by=group_by,
-        metrics=metrics,
-        agg=args.agg,
-        title=f"sweep {args.study}: {study.description}",
-    ))
-    print(f"{len(outcome)} points in {outcome.wall_time:.2f}s: "
-          f"{outcome.cache_hits} cache hits, "
-          f"{outcome.executed} executed"
-          + ("" if store else " (store disabled)"))
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run a serialized StudySpec (JSON) through the experiment engine."""
+    from repro import api
+    from repro.config import SpecError
+    from repro.experiments import ResultStore, get_study
+
+    try:
+        spec = api.load_study_spec(args.config)
+    except OSError as exc:
+        print(f"error: cannot read {args.config!r}: {exc.strerror}",
+              file=sys.stderr)
+        return 2
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        study = get_study(spec.study)
+        sweep = api.study_sweep_spec(spec)
+        store = None if args.no_store else ResultStore(args.store)
+        return _run_sweep_and_report(
+            sweep,
+            workers=args.workers if args.workers else spec.workers,
+            store=store,
+            verbose=args.verbose,
+            group_by=sweep.axis_names(),
+            metrics_arg=args.metrics,
+            agg=args.agg,
+            intro=f"study {spec.study!r} from {args.config}",
+            title=f"study {spec.study}: {study.description}",
+        )
+    except (SpecError, ValueError, KeyError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+
+def cmd_show_config(args: argparse.Namespace) -> int:
+    """Print a study's default StudySpec as ready-to-edit JSON."""
+    from repro import api
+
+    try:
+        spec = api.default_study_spec(args.study)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    print(spec.to_json())
     return 0
 
 
@@ -439,6 +512,43 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--verbose", action="store_true",
                        help="print one progress line per point")
     sweep.set_defaults(func=cmd_sweep)
+
+    run = commands.add_parser(
+        "run",
+        help="run a declarative study config (JSON StudySpec) through "
+             "the experiment engine",
+        epilog="write a starting config with: repro show-config "
+               "--study caches > study.json",
+    )
+    run.add_argument("--config", required=True, metavar="PATH",
+                     help="JSON StudySpec file (see `repro show-config`)")
+    run.add_argument("--workers", type=int, default=0,
+                     help="process count (default: the spec's "
+                          "`workers` field)")
+    run.add_argument("--store", default=None, metavar="PATH",
+                     help="result store path (default: "
+                          "benchmarks/results/store.jsonl)")
+    run.add_argument("--no-store", action="store_true",
+                     help="disable the result cache for this run")
+    run.add_argument("--metrics", default=None, metavar="M1,M2",
+                     help="metrics to show (default: all)")
+    run.add_argument("--agg", default="mean",
+                     choices=("mean", "min", "max"))
+    run.add_argument("--verbose", action="store_true",
+                     help="print one progress line per point")
+    run.set_defaults(func=cmd_run)
+
+    show_config = commands.add_parser(
+        "show-config",
+        help="print a study's default declarative config as JSON",
+    )
+    show_config.add_argument("--study", default="penelope",
+                             help="registered study (default: penelope)")
+    show_config.add_argument(
+        "--defaults", action="store_true",
+        help="accepted for clarity; defaults are all this command prints",
+    )
+    show_config.set_defaults(func=cmd_show_config)
 
     bench_smoke = commands.add_parser(
         "bench-smoke",

@@ -1,0 +1,64 @@
+"""Declarative configuration: typed specs + mechanism registries.
+
+One serialisable surface describes everything the repo can build:
+
+- :mod:`repro.config.specs` — :class:`ProcessorSpec` (pipeline widths,
+  register files, scheduler/MOB sizes, adder pool, DL0/DTLB geometry),
+  :class:`ProtectionSpec` (per-structure mechanism by name + params),
+  :class:`WorkloadSpec` (Table 1 suites, trace length, seed) and
+  :class:`StudySpec` (a registered study whose sweep axes are spec
+  field paths).  All round-trip through dicts/JSON and validate with
+  helpful errors.
+- :mod:`repro.config.registry` — string-keyed
+  :class:`ComponentRegistry` instances mapping mechanism names
+  (``line_fixed``, ``isv``, ``derived_policy``, ``idle_injection``, …)
+  to factories, so new schemes plug in without touching construction
+  code.
+
+Specs are built into runtime objects by :mod:`repro.api`
+(``build_core``, ``build_penelope``, ``run_study``).
+"""
+
+from repro.config.registry import (
+    ADDER_MECHANISMS,
+    CACHE_SCHEMES,
+    ComponentRegistry,
+    RF_PROTECTORS,
+    SCHEDULER_PROTECTORS,
+    registry_for_structure,
+)
+from repro.config.specs import (
+    MISSING,
+    CacheGeometrySpec,
+    MechanismSpec,
+    ProcessorSpec,
+    ProtectionSpec,
+    Spec,
+    SpecError,
+    StudySpec,
+    TLBGeometrySpec,
+    WorkloadSpec,
+    resolve_path,
+    with_path,
+)
+
+__all__ = [
+    "ADDER_MECHANISMS",
+    "CACHE_SCHEMES",
+    "ComponentRegistry",
+    "RF_PROTECTORS",
+    "SCHEDULER_PROTECTORS",
+    "registry_for_structure",
+    "MISSING",
+    "CacheGeometrySpec",
+    "MechanismSpec",
+    "ProcessorSpec",
+    "ProtectionSpec",
+    "Spec",
+    "SpecError",
+    "StudySpec",
+    "TLBGeometrySpec",
+    "WorkloadSpec",
+    "resolve_path",
+    "with_path",
+]

@@ -18,6 +18,12 @@ three schemes on the DL0 and the DTLB (Section 4.6):
 Performance impact is evaluated by replaying per-suite address streams
 through a baseline and a protected cache and converting the extra misses
 into a CPI loss with an overlap-discounted miss penalty.
+
+Schemes are registered by name in
+:data:`repro.config.registry.CACHE_SCHEMES` (``set_fixed``,
+``way_fixed``, ``line_fixed``, ``line_dynamic``), which is how JSON
+configs, ``repro run`` and :func:`repro.api.build_scheme` construct
+them; register new subclasses there to make them sweepable by name.
 """
 
 from __future__ import annotations

@@ -15,7 +15,11 @@ none is available — Section 4.4 measures that this happens rarely (ports
 free 92% / 86% of the time for INT / FP register files).
 
 The protectors plug into :class:`repro.uarch.core.TraceDrivenCore` via
-its :class:`~repro.uarch.core.CoreHooks` observer interface.
+its :class:`~repro.uarch.core.CoreHooks` observer interface.  They are
+registered by name in :data:`repro.config.registry.RF_PROTECTORS`
+(``isv``) and :data:`repro.config.registry.SCHEDULER_PROTECTORS`
+(``derived_policy``, ``paper_policy``), the registries JSON configs and
+:func:`repro.api.build_hooks` resolve mechanism names through.
 """
 
 from __future__ import annotations

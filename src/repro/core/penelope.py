@@ -77,6 +77,13 @@ class PenelopeReport:
 class PenelopeProcessor:
     """Builds and evaluates the NBTI-aware processor end to end.
 
+    The mechanisms guarding each structure are pluggable through the
+    four ``*_factory`` parameters (the declarative front door is
+    :func:`repro.api.build_penelope`, which fills them from a
+    :class:`~repro.config.specs.ProtectionSpec`).  Defaults replicate
+    the paper's full Penelope configuration; a factory returning
+    ``None`` leaves its structure unprotected.
+
     Examples
     --------
     >>> from repro.workloads import generate_workload
@@ -96,7 +103,17 @@ class PenelopeProcessor:
         guardband_model: GuardbandModel = DEFAULT_GUARDBAND_MODEL,
         sample_period: float = 512.0,
         seed: int = 0,
+        rf_protector_factory=None,
+        scheduler_protector_factory=None,
+        cache_scheme_factory=None,
+        injector_pair: Tuple[int, int] = (1, 8),
+        inject_idle: bool = True,
     ) -> None:
+        """``rf_protector_factory(rf_name, width)``,
+        ``scheduler_protector_factory(policy)`` and
+        ``cache_scheme_factory(structure)`` (``structure`` is ``"dl0"``
+        or ``"dtlb"``) build the per-run mechanism instances; each may
+        return ``None`` to disable that protection."""
         self.config = config or CoreConfig()
         self.scheduler_policy = scheduler_policy
         self.invert_ratio = invert_ratio
@@ -104,6 +121,31 @@ class PenelopeProcessor:
         self.sample_period = sample_period
         self.seed = seed
         self._adder = adder
+        self._rf_factory = (
+            rf_protector_factory if rf_protector_factory is not None
+            else self._default_rf_protector
+        )
+        self._scheduler_factory = (
+            scheduler_protector_factory
+            if scheduler_protector_factory is not None
+            else self._default_scheduler_protector
+        )
+        self._cache_factory = (
+            cache_scheme_factory if cache_scheme_factory is not None
+            else self._default_cache_scheme
+        )
+        self.injector_pair = tuple(injector_pair)
+        self.inject_idle = inject_idle
+
+    # -- default mechanism factories (the paper's configuration) -------
+    def _default_rf_protector(self, rf_name: str, width: int):
+        return ISVRegisterFileProtector(rf_name, width, self.sample_period)
+
+    def _default_scheduler_protector(self, policy):
+        return SchedulerProtector(policy, self.sample_period)
+
+    def _default_cache_scheme(self, structure: str):
+        return LineFixedScheme(self.invert_ratio)
 
     # ------------------------------------------------------------------
     def run_baseline(self, trace: Trace) -> CoreResult:
@@ -127,26 +169,27 @@ class PenelopeProcessor:
         trace: Trace,
         policy: Optional[SchedulerPolicy] = None,
     ) -> CoreResult:
-        """One run with every Penelope mechanism engaged."""
+        """One run with every configured Penelope mechanism engaged."""
         effective_policy = (
             policy if policy is not None else self.scheduler_policy
         )
-        hooks = CompositeHooks([
-            ISVRegisterFileProtector("int_rf", INT_WIDTH,
-                                     self.sample_period),
-            ISVRegisterFileProtector("fp_rf", FP_WIDTH,
-                                     self.sample_period),
-            SchedulerProtector(effective_policy, self.sample_period),
-        ])
-        dl0 = ProtectedCache(
-            Cache(self.config.dl0),
-            LineFixedScheme(self.invert_ratio),
-            seed=self.seed,
+        mechanisms = [
+            self._rf_factory("int_rf", INT_WIDTH),
+            self._rf_factory("fp_rf", FP_WIDTH),
+            self._scheduler_factory(effective_policy),
+        ]
+        hooks = CompositeHooks([m for m in mechanisms if m is not None])
+        dl0_scheme = self._cache_factory("dl0")
+        dl0 = (
+            ProtectedCache(Cache(self.config.dl0), dl0_scheme,
+                           seed=self.seed)
+            if dl0_scheme is not None else None
         )
-        dtlb = ProtectedCache(
-            TLB(self.config.dtlb),
-            LineFixedScheme(self.invert_ratio),
-            seed=self.seed + 1,
+        dtlb_scheme = self._cache_factory("dtlb")
+        dtlb = (
+            ProtectedCache(TLB(self.config.dtlb), dtlb_scheme,
+                           seed=self.seed + 1)
+            if dtlb_scheme is not None else None
         )
         core = TraceDrivenCore(self.config, hooks, dl0=dl0, dtlb=dtlb)
         return core.run(trace)
@@ -170,8 +213,10 @@ class PenelopeProcessor:
         utilization = float(np.mean([
             np.mean(res.adder_utilization) for res in baseline
         ]))
-        injector = IdleInputInjector(adder, (1, 8), self.guardband_model)
-        adder_report = injector.age(vectors[:256], min(1.0, utilization))
+        injector = IdleInputInjector(adder, self.injector_pair,
+                                     self.guardband_model)
+        adder_report = injector.age(vectors[:256], min(1.0, utilization),
+                                    inject=self.inject_idle)
         adder_guardband = self.guardband_model.guardband_for_duty(
             adder_report.worst_narrow_duty
         )

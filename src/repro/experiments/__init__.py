@@ -47,6 +47,12 @@ or from the shell::
     repro sweep caches --grid ratio=0.4,0.5,0.6 --grid ways=4,8 \\
         --workers 4
     repro results --study caches
+
+Studies can equivalently be driven from a declarative, serialisable
+:class:`~repro.config.specs.StudySpec` whose sweep axes are spec field
+paths — each study's ``spec_paths`` binding maps them onto the flat
+parameters above, so both spellings share point hashes and the result
+store (see :func:`repro.api.run_study` and ``repro run --config``).
 """
 
 from repro.experiments.registry import (

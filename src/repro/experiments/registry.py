@@ -100,12 +100,26 @@ def _suite_index(suite: str) -> int:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class StudyDefinition:
-    """A named, parameterised experiment."""
+    """A named, parameterised experiment.
+
+    ``spec_paths`` binds each flat study parameter to the dotted spec
+    field path that feeds it (``"ratio" -> "protection.dl0.params.
+    ratio"``), so the study can be driven from a declarative
+    :class:`~repro.config.specs.StudySpec` via
+    :func:`repro.api.run_study`.  Parameters absent from the binding
+    (e.g. ``data_bias``) have no spec home and are set through
+    ``StudySpec.overrides``.
+    """
 
     name: str
     description: str
     defaults: Mapping[str, Any]
     run: Callable[[Mapping[str, Any]], Dict[str, Any]]
+    spec_paths: Mapping[str, str] = None
+
+    def __post_init__(self) -> None:
+        if self.spec_paths is None:
+            object.__setattr__(self, "spec_paths", {})
 
     def bind(self, params: Mapping[str, Any]) -> Dict[str, Any]:
         bound = dict(self.defaults)
@@ -118,14 +132,32 @@ class StudyDefinition:
 
 _STUDIES: Dict[str, StudyDefinition] = {}
 
+#: Spec field paths shared by every workload-driven study.
+_WORKLOAD_PATHS = {
+    "suite": "workload.suites",
+    "length": "workload.length",
+    "seed": "workload.seed",
+}
+
+#: ... plus the DL0 geometry axes of the cache studies.
+_CACHE_GEOMETRY_PATHS = {
+    **_WORKLOAD_PATHS,
+    "size_kb": "processor.dl0.size_kb",
+    "ways": "processor.dl0.ways",
+}
+
 
 def register_study(
-    name: str, description: str, defaults: Mapping[str, Any]
+    name: str,
+    description: str,
+    defaults: Mapping[str, Any],
+    spec_paths: Mapping[str, str] = (),
 ) -> Callable:
     def wrap(func: Callable) -> Callable:
         _STUDIES[name] = StudyDefinition(
             name=name, description=description,
             defaults=dict(defaults), run=func,
+            spec_paths=dict(spec_paths),
         )
         return func
     return wrap
@@ -161,36 +193,37 @@ def _cache_config(params: Mapping[str, Any]):
 
 
 def _scheme_factory(params: Mapping[str, Any], created: List[Any]):
-    """Zero-arg factory for the requested scheme; records instances."""
-    from repro.core.cache_like import (
-        LineDynamicScheme,
-        LineFixedScheme,
-        SetFixedScheme,
-        WayFixedScheme,
-    )
+    """Zero-arg factory for the requested scheme; records instances.
+
+    Scheme names resolve through the component registry
+    (:data:`repro.config.registry.CACHE_SCHEMES`), so any newly
+    registered scheme is sweepable by name with no change here.
+    """
+    from repro.config.registry import CACHE_SCHEMES
+    from repro.config.specs import SpecError
 
     scheme = params["scheme"]
-    ratio = float(params["ratio"])
-    builders = {
-        "set_fixed": lambda: SetFixedScheme(ratio),
-        "way_fixed": lambda: WayFixedScheme(ratio),
-        "line_fixed": lambda: LineFixedScheme(ratio),
-        "line_dynamic": lambda: LineDynamicScheme(
-            ratio=ratio,
+    scheme_params: Dict[str, Any] = {"ratio": float(params["ratio"])}
+    if scheme == "line_dynamic":
+        scheme_params.update(
             threshold=float(params["dyn_threshold"]),
             warmup=int(params["dyn_warmup"]),
             test_window=int(params["dyn_test_window"]),
             period=int(params["dyn_period"]),
-        ),
-    }
-    if scheme not in builders:
-        raise ValueError(
-            f"unknown scheme {scheme!r}; choose from "
-            f"{', '.join(sorted(builders))}"
         )
+    if scheme == "none":
+        raise ValueError(
+            "scheme 'none' builds no mechanism; use a baseline run "
+            "instead of sweeping it"
+        )
+    try:
+        CACHE_SCHEMES.validate(scheme, scheme_params)
+    except SpecError as exc:
+        # The sweep layer reports ValueError messages as `error: ...`.
+        raise ValueError(str(exc)) from None
 
     def factory():
-        instance = builders[scheme]()
+        instance = CACHE_SCHEMES.build(scheme, scheme_params)
         created.append(instance)
         return instance
 
@@ -212,6 +245,15 @@ def _scheme_factory(params: Mapping[str, Any], created: List[Any]):
         "dyn_warmup": 1000,
         "dyn_test_window": 1000,
         "dyn_period": 6000,
+    },
+    spec_paths={
+        **_CACHE_GEOMETRY_PATHS,
+        "scheme": "protection.dl0.name",
+        "ratio": "protection.dl0.params.ratio",
+        "dyn_threshold": "protection.dl0.params.threshold",
+        "dyn_warmup": "protection.dl0.params.warmup",
+        "dyn_test_window": "protection.dl0.params.test_window",
+        "dyn_period": "protection.dl0.params.period",
     },
 )
 def run_caches_point(params: Mapping[str, Any]) -> Dict[str, Any]:
@@ -253,6 +295,12 @@ def run_caches_point(params: Mapping[str, Any]) -> Dict[str, Any]:
         "ratio": 0.5,
         "data_bias": 0.9,
     },
+    # data_bias is an analysis-only knob with no spec home: set it via
+    # StudySpec.overrides (or sweep it by bare name).
+    spec_paths={
+        **_CACHE_GEOMETRY_PATHS,
+        "ratio": "protection.dl0.params.ratio",
+    },
 )
 def run_invert_ratio_point(params: Mapping[str, Any]) -> Dict[str, Any]:
     metrics = run_caches_point({**params, "scheme": "line_fixed"})
@@ -276,6 +324,10 @@ def run_invert_ratio_point(params: Mapping[str, Any]) -> Dict[str, Any]:
         "size_kb": 16,
         "ways": 8,
         "ratio": 0.5,
+    },
+    spec_paths={
+        **_CACHE_GEOMETRY_PATHS,
+        "ratio": "protection.dl0.params.ratio",
     },
 )
 def run_victim_policy_point(params: Mapping[str, Any]) -> Dict[str, Any]:
@@ -331,6 +383,10 @@ class AnyPositionLineFixedScheme(_LineFixedScheme):
         "seed": 0,
         "sample_period": 512.0,
     },
+    spec_paths={
+        **_WORKLOAD_PATHS,
+        "sample_period": "protection.sample_period",
+    },
 )
 def run_regfile_point(params: Mapping[str, Any]) -> Dict[str, Any]:
     base_bias, isv_bias, free_fraction = cached_rf_biases(
@@ -353,6 +409,12 @@ def run_regfile_point(params: Mapping[str, Any]) -> Dict[str, Any]:
         "seed": 88,
         "sample_period": 512.0,
         "target": 0.70,
+    },
+    # target (the scaled-voltage operating point) is analysis-only: set
+    # it via StudySpec.overrides.
+    spec_paths={
+        **_WORKLOAD_PATHS,
+        "sample_period": "protection.sample_period",
     },
 )
 def run_vmin_power_point(params: Mapping[str, Any]) -> Dict[str, Any]:
@@ -388,6 +450,11 @@ def run_vmin_power_point(params: Mapping[str, Any]) -> Dict[str, Any]:
         "seed": 0,
         "invert_ratio": 0.5,
         "sample_period": 512.0,
+    },
+    spec_paths={
+        **_WORKLOAD_PATHS,
+        "invert_ratio": "protection.dl0.params.ratio",
+        "sample_period": "protection.sample_period",
     },
 )
 def run_penelope_point(params: Mapping[str, Any]) -> Dict[str, Any]:

@@ -18,6 +18,8 @@ class TestParser:
             "sweep": ["sweep", "caches"],
             "results": ["results"],
             "bench-smoke": ["bench-smoke", "--scale", "50"],
+            "run": ["run", "--config", "study.json"],
+            "show-config": ["show-config", "--study", "caches"],
         }
         for argv in invocations.values():
             args = parser.parse_args(argv)
@@ -129,6 +131,102 @@ class TestCommands:
                      "--results-dir", str(results),
                      "--only", "fig1"]) == 0
         assert (results / "fig1_nbti_physics.json").exists()
+
+    def test_show_config_emits_loadable_study_spec(self, capsys):
+        from repro.config import StudySpec
+
+        assert main(["show-config", "--study", "caches"]) == 0
+        out = capsys.readouterr().out
+        spec = StudySpec.from_json(out)
+        assert spec.study == "caches"
+        assert spec.processor.dl0.size_kb == 16  # the study's default
+        assert spec.protection.dl0.name == "line_fixed"
+
+    def test_show_config_unknown_study(self, capsys):
+        assert main(["show-config", "--study", "bogus"]) == 2
+        assert "unknown study" in capsys.readouterr().err
+
+    def test_run_config_end_to_end(self, capsys, tmp_path):
+        """show-config output, edited, drives a sweep through `run`."""
+        from repro.config import StudySpec, with_path
+
+        assert main(["show-config", "--study", "caches"]) == 0
+        spec = StudySpec.from_json(capsys.readouterr().out)
+        spec = with_path(spec, "workload.length", 600)
+        spec = spec.replace(
+            sweep={"protection.dl0.params.ratio": [0.4, 0.6]})
+        config = tmp_path / "study.json"
+        config.write_text(spec.to_json())
+        store = str(tmp_path / "store.jsonl")
+
+        argv = ["run", "--config", str(config), "--store", store,
+                "--verbose"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "2 points" in out
+        assert "0 cache hits, 2 executed" in out
+        assert "mean_loss" in out
+
+        # Rerun: the result store serves both points.
+        assert main(argv) == 0
+        assert "2 cache hits, 0 executed" in capsys.readouterr().out
+
+        # The spec-driven run shares the store with flat sweeps: the
+        # same points arrive as pure cache hits via `sweep`.
+        assert main(["sweep", "caches", "--grid", "ratio=0.4,0.6",
+                     "--suites", "specint2000", "--length", "600",
+                     "--store", store]) == 0
+        assert "2 cache hits, 0 executed" in capsys.readouterr().out
+
+    def test_run_bad_inputs_exit_cleanly(self, capsys, tmp_path):
+        missing = tmp_path / "missing.json"
+        assert main(["run", "--config", str(missing)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+        bad_json = tmp_path / "bad.json"
+        bad_json.write_text("{not json")
+        assert main(["run", "--config", str(bad_json)]) == 2
+        assert "invalid JSON" in capsys.readouterr().err
+
+        bad_key = tmp_path / "bad_key.json"
+        bad_key.write_text('{"study": "caches", "procesor": {}}')
+        assert main(["run", "--config", str(bad_key)]) == 2
+        assert "procesor" in capsys.readouterr().err
+
+        unknown_study = tmp_path / "unknown.json"
+        unknown_study.write_text('{"study": "bogus"}')
+        assert main(["run", "--config", str(unknown_study),
+                     "--no-store"]) == 2
+        assert "unknown study" in capsys.readouterr().err
+
+        bad_axis = tmp_path / "bad_axis.json"
+        bad_axis.write_text(
+            '{"study": "caches", '
+            '"sweep": {"protection.l2.ratio": [0.5]}}')
+        assert main(["run", "--config", str(bad_axis),
+                     "--no-store"]) == 2
+        assert "sweepable" in capsys.readouterr().err
+
+        bad_metrics = tmp_path / "ok.json"
+        bad_metrics.write_text(
+            '{"study": "caches", "workload": {"length": 500}}')
+        assert main(["run", "--config", str(bad_metrics), "--no-store",
+                     "--metrics", "mean_losss"]) == 2
+        assert "unknown metric" in capsys.readouterr().err
+
+        null_section = tmp_path / "null.json"
+        null_section.write_text('{"study": "caches", "workload": null}')
+        assert main(["run", "--config", str(null_section)]) == 2
+        assert "not null" in capsys.readouterr().err
+
+        # An edit the study cannot honour must error, not no-op.
+        unconsumed = tmp_path / "unconsumed.json"
+        unconsumed.write_text(
+            '{"study": "regfile", '
+            '"protection": {"dl0": {"name": "set_fixed"}}}')
+        assert main(["run", "--config", str(unconsumed),
+                     "--no-store"]) == 2
+        assert "does not consume" in capsys.readouterr().err
 
     def test_sweep_unknown_study(self, capsys):
         assert main(["sweep", "bogus", "--suites", "office",
