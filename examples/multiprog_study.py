@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Multiprogram interference study.
+
+N programs time-share one protected DL0: each Table 1 suite contributes
+a lazy address stream and the streams interleave slice by slice (see
+``repro.workloads.multiprog``) before replaying through the
+invalidate-and-invert schemes.  The study compares
+
+- how much the interleaving *policy* (round-robin vs random slices)
+  changes the interference a scheme sees, and
+- how the performance loss scales with the number of co-running
+  programs sharing the cache.
+
+Everything streams: no address list is ever materialised, so the same
+script scales to paper-length traces.  Driven through the declarative
+API — the workload's ``interleave``/``slice_length`` fields feed the
+``multiprog`` study's policy knobs; ``examples/multiprog_study.json``
+is the equivalent config for ``repro run``.
+
+Run:  python examples/multiprog_study.py [--workers N]
+"""
+
+import argparse
+
+from repro import api
+from repro.analysis import format_table
+from repro.config import StudySpec, WorkloadSpec
+
+LENGTH = 4000
+
+#: Program mixes of growing size; duplicates are distinct programs.
+MIXES = (
+    ("specint2000",),
+    ("specint2000", "office"),
+    ("specint2000", "office", "multimedia", "server"),
+)
+
+
+def spec_for(suites, policy: str) -> StudySpec:
+    return StudySpec(
+        "multiprog",
+        workload=WorkloadSpec(
+            suites=suites, length=LENGTH, seed=7,
+            interleave=policy, slice_length=64,
+        ),
+        sweep={"protection.dl0.params.ratio": [0.4, 0.5, 0.6]},
+    )
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    rows = []
+    for suites in MIXES:
+        for policy in ("round_robin", "random_slice"):
+            outcome = api.run_study(spec_for(suites, policy),
+                                    workers=args.workers)
+            for result in outcome:
+                rows.append([
+                    str(len(suites)),
+                    policy,
+                    result.metrics["scheme_name"],
+                    f"{result.metrics['baseline_miss_rate']:.2%}",
+                    f"{result.metrics['scheme_miss_rate']:.2%}",
+                    f"{result.metrics['mean_loss']:.2%}",
+                ])
+
+    print(format_table(
+        ["programs", "policy", "scheme", "base miss", "scheme miss",
+         "loss"],
+        rows,
+        title=(f"Multiprogram interference on a protected 16K/8w DL0 "
+               f"({LENGTH} refs per program)"),
+    ))
+    print("\nInterference moves the baseline: small-working-set "
+          "co-runners dilute the")
+    print("miss rate, while crowded mixes collide and amplify every "
+          "capacity the")
+    print("inversion schemes take away — losses the single-program "
+          "Table 3 runs never see.")
+
+
+if __name__ == "__main__":
+    main()

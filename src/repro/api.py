@@ -64,6 +64,7 @@ __all__ = [
     "build_address_streams",
     "build_core",
     "build_hooks",
+    "build_multiprog_stream",
     "build_penelope",
     "build_scheme",
     "build_workload",
@@ -243,6 +244,24 @@ def build_address_streams(spec: Optional[WorkloadSpec] = None
     ]
 
 
+def build_multiprog_stream(spec: Optional[WorkloadSpec] = None):
+    """One interleaved multiprogram address stream from a workload spec.
+
+    Lazy (an iterator): feed it straight to ``Cache.replay`` /
+    ``ProtectedCache.replay`` for bounded-memory interference runs.  The
+    spec's ``interleave`` policy drives the merge; ``"none"`` falls back
+    to round-robin so a default spec still produces a usable scenario.
+    """
+    from repro.workloads.multiprog import multiprog_address_stream
+
+    spec = spec if spec is not None else WorkloadSpec()
+    policy = spec.interleave if spec.interleave != "none" else "round_robin"
+    return multiprog_address_stream(
+        spec.suites, length=spec.length, seed=spec.seed,
+        policy=policy, slice_length=spec.slice_length,
+    )
+
+
 # ----------------------------------------------------------------------
 # Studies
 # ----------------------------------------------------------------------
@@ -268,11 +287,15 @@ def study_sweep_spec(spec: StudySpec):
     grid: Dict[str, List[Any]] = {}
     suite_param = None
     for param, path in paths.items():
-        if path == "workload.suites":
+        if path == "workload.suites" and param == "suite":
+            # A scalar per-suite parameter: the workload's suites fan
+            # out as a grid axis (one point per suite).
             suite_param = param
             continue
         value = resolve_path(spec, path)
         if value is not MISSING:
+            # Multiprogram studies bind the whole suite tuple as ONE
+            # parameter (param "suites"), so it lands in base as-is.
             base[param] = value
     if suite_param is not None:
         grid[suite_param] = list(spec.workload.suites)
@@ -372,7 +395,11 @@ def default_study_spec(study_name: str) -> StudySpec:
     for param, path in ordered:
         default = study.defaults[param]
         if path == "workload.suites":
-            spec = with_path(spec, path, (default,))
+            # Scalar per-suite defaults ("suite") wrap into a 1-tuple;
+            # multiprogram defaults ("suites") are already sequences.
+            if not isinstance(default, (list, tuple)):
+                default = (default,)
+            spec = with_path(spec, path, tuple(default))
             continue
         if ".params." in path:
             mech_path, _, param_name = path.rpartition(".params.")

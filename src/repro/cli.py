@@ -256,15 +256,31 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                     f"in one option: --grid {key}=v1,v2"
                 )
             grid[key] = values
-        if "suite" in grid:
-            if args.suites is not None:
-                raise ValueError(
-                    "--suites conflicts with --grid suite=...; "
-                    "use one of them"
-                )
-        else:
-            grid["suite"] = list(args.suites or suite_names())
         base = {"length": args.length, "seed": args.seed}
+        if "suite" in study.defaults:
+            if "suite" in grid:
+                if args.suites is not None:
+                    raise ValueError(
+                        "--suites conflicts with --grid suite=...; "
+                        "use one of them"
+                    )
+            else:
+                grid["suite"] = list(args.suites or suite_names())
+        elif "suites" in study.defaults:
+            if "suites" in grid:
+                # --grid suites=a,b would sweep one SINGLE-program
+                # point per value — silently dropping the interference
+                # this study exists to measure.
+                raise ValueError(
+                    f"study {args.study!r} takes the whole program set "
+                    f"as one point; --grid suites=... would sweep "
+                    f"single-program points instead — pass the "
+                    f"programs via --suites"
+                )
+            if args.suites is not None:
+                # The whole suite list is ONE point parameter (the
+                # programs sharing the cache), not a per-suite axis.
+                base["suites"] = list(args.suites)
         spec = SweepSpec(args.study, base=base, grid=grid)
 
         # Group keys are fully known before execution (defaults + base
@@ -477,8 +493,8 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep",
         help="expand a parameter grid and run it through the "
              "experiment engine",
-        epilog="registered studies: caches, invert_ratio, penelope, "
-               "regfile, victim_policy, vmin_power",
+        epilog="registered studies: caches, invert_ratio, multiprog, "
+               "penelope, regfile, victim_policy, vmin_power",
     )
     # Validated in cmd_sweep (not argparse choices) so a typo gets the
     # same `error: unknown study ...` shape as other sweep errors.

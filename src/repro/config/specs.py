@@ -386,14 +386,26 @@ class ProtectionSpec(Spec):
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class WorkloadSpec(Spec):
-    """Which Table 1 suites to synthesise, and how much of them."""
+    """Which Table 1 suites to synthesise, and how much of them.
+
+    ``interleave`` turns the suites into a *multiprogram* scenario: the
+    per-suite streams merge slice by slice (see
+    :mod:`repro.workloads.multiprog`) instead of running one after
+    another.  ``"none"`` (the default) keeps the single-program
+    behaviour; ``slice_length`` is the references-per-program slice used
+    by the interleaving policies.
+    """
 
     suites: Tuple[str, ...] = ("specint2000",)
     length: int = 5000
     traces_per_suite: int = 1
     seed: int = 0
+    interleave: str = "none"
+    slice_length: int = 64
 
     def __post_init__(self) -> None:
+        from repro.workloads.multiprog import INTERLEAVE_POLICIES
+
         _set(self, "suites", _freeze_value(self.suites))
         if not self.suites:
             raise SpecError("workload spec: suites must not be empty")
@@ -405,7 +417,14 @@ class WorkloadSpec(Spec):
                 f"available: {', '.join(known)}"
             )
         _require_positive("workload spec", length=self.length,
-                          traces_per_suite=self.traces_per_suite)
+                          traces_per_suite=self.traces_per_suite,
+                          slice_length=self.slice_length)
+        choices = ("none",) + tuple(INTERLEAVE_POLICIES)
+        if self.interleave not in choices:
+            raise SpecError(
+                f"unknown interleave policy {self.interleave!r}; "
+                f"choose from {', '.join(choices)}"
+            )
 
 
 # ----------------------------------------------------------------------

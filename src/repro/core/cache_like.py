@@ -42,6 +42,11 @@ DEFAULT_INVERT_RATIO = 0.5
 DL0_EFFECTIVE_PENALTY = 3.0
 DTLB_EFFECTIVE_PENALTY = 10.0
 
+#: DL0 accesses per uop of the performance-loss model (the loads+stores
+#: fraction of the uop mix); shared by every cache study so losses stay
+#: comparable across them.
+DL0_ACCESSES_PER_UOP = 0.36
+
 
 class InversionScheme:
     """Base class: owns the inversion policy of one protected cache."""
@@ -558,7 +563,7 @@ def run_cache_study(
     config: CacheConfig,
     scheme_factory,
     address_streams: Sequence[Sequence[int]],
-    accesses_per_uop: float = 0.36,
+    accesses_per_uop: float = DL0_ACCESSES_PER_UOP,
     effective_penalty: float = DL0_EFFECTIVE_PENALTY,
     base_cpi: float = 0.8,
     seed: int = 0,

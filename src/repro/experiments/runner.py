@@ -2,7 +2,8 @@
 
 The runner expands a :class:`~repro.experiments.spec.SweepSpec`, checks
 each point against the :class:`~repro.experiments.store.ResultStore`,
-and executes only the misses — serially for ``workers=1``, over a
+dedupes points with identical content hashes, and executes only the
+distinct misses — serially for ``workers=1``, over a
 ``multiprocessing`` pool otherwise.  Results come back in spec order
 regardless of completion order, so parallel and serial sweeps produce
 identical output (a property the test suite asserts).
@@ -148,12 +149,36 @@ class SweepRunner:
                 pending.append((index, point))
 
         if pending:
-            for index, result in self._execute(pending):
+            # Duplicate grid points (identical content hash at different
+            # slots — repeated grid values, collapsed axes) used to
+            # execute once per slot and double-write the store.  Execute
+            # each distinct key once and fan the result back out; the
+            # extra slots report cached=True since they cost nothing.
+            first_slot: Dict[str, int] = {}
+            duplicates: Dict[int, List[int]] = {}
+            unique: List[Tuple[int, ExperimentPoint]] = []
+            for index, point in pending:
+                key = point.key
+                if key in first_slot:
+                    duplicates.setdefault(first_slot[key], []).append(index)
+                else:
+                    first_slot[key] = index
+                    unique.append((index, point))
+            for index, result in self._execute(unique):
                 slots[index] = result
                 if self.store is not None:
                     self.store.put(result.point, result.metrics,
                                    result.elapsed)
                 self._report(result)
+                for dup_index in duplicates.get(index, ()):
+                    duplicate = PointResult(
+                        point=points[dup_index],
+                        metrics=dict(result.metrics),
+                        cached=True,
+                        elapsed=result.elapsed,
+                    )
+                    slots[dup_index] = duplicate
+                    self._report(duplicate)
 
         assert all(slot is not None for slot in slots)
         return SweepResult(

@@ -5,9 +5,11 @@ Each line is one self-contained record::
     {"key": "...", "study": "caches", "params": {...},
      "metrics": {...}, "elapsed": 0.12, "created": 1690000000.0}
 
-Appending is the only write operation, so concurrent sweeps at worst
-duplicate a record; :meth:`ResultStore.load` keeps the *last* record
-per key, making reruns idempotent.  The default location is
+Appending is the only write operation and each record is written as a
+single ``os.write`` on an ``O_APPEND`` fd (atomic on POSIX), so
+concurrent sweep workers at worst duplicate a record — never interleave
+partial lines; :meth:`ResultStore.load` keeps the *last* record per
+key, making reruns idempotent.  The default location is
 ``benchmarks/results/store.jsonl`` next to the benchmark artefacts.
 """
 
@@ -132,8 +134,25 @@ class ResultStore:
             elapsed=elapsed,
         )
         os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
-        with open(self.path, "a") as handle:
-            handle.write(record.to_json() + "\n")
+        # One O_APPEND fd + one os.write per record: concurrent sweep
+        # workers append whole lines atomically.  Buffered `open(..,
+        # "a").write` could flush a record as several syscalls, letting
+        # parallel writers interleave partial lines and corrupt both.
+        payload = (record.to_json() + "\n").encode("utf-8")
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                     0o644)
+        try:
+            written = os.write(fd, payload)
+        finally:
+            os.close(fd)
+        if written != len(payload):
+            # A short write (disk full, signal) would leave a partial
+            # line; retrying could interleave with another worker, so
+            # fail loudly instead (load() skips the corrupt line).
+            raise OSError(
+                f"short write to {self.path}: {written} of "
+                f"{len(payload)} bytes"
+            )
         self._index[record.key] = record
         return record
 

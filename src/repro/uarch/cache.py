@@ -211,7 +211,11 @@ class Cache:
 
         Bit-exact equivalent of calling :meth:`access` per address, with
         the attribute lookups hoisted out of the loop — use this from
-        study harnesses replaying 10^5+ accesses.
+        study harnesses replaying 10^5+ accesses.  ``addresses`` may be
+        any single-pass iterable (e.g. the lazy
+        :func:`~repro.workloads.generator.iter_address_stream` or a
+        :func:`~repro.workloads.multiprog.multiprog_address_stream`), so
+        the replay is bounded-memory.
         """
         line_bytes, sets, ways = self._line_bytes, self._sets, self._ways
         all_tags, all_states = self._tags, self._state

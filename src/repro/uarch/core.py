@@ -26,7 +26,7 @@ the substrate stays mechanism-free.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.uarch.cache import Cache, CacheConfig, CacheStats
 from repro.uarch.mob import MemoryOrderBuffer
@@ -34,7 +34,6 @@ from repro.uarch.ports import AdderPolicy, AdderPool
 from repro.uarch.regfile import RegisterFile, RegisterFileStats
 from repro.uarch.scheduler import Scheduler, SchedulerStats
 from repro.uarch.tlb import TLB, TLBConfig
-from repro.uarch.trace import Trace
 from repro.uarch.uop import FP_WIDTH, INT_WIDTH, Uop
 
 
@@ -220,8 +219,15 @@ class TraceDrivenCore:
         self._issue_use.clear()
 
     # ------------------------------------------------------------------
-    def run(self, trace: Trace) -> CoreResult:
-        """Replay one trace and return the collected statistics."""
+    def run(self, trace: Iterable[Uop]) -> CoreResult:
+        """Replay one trace and return the collected statistics.
+
+        ``trace`` may be a materialised :class:`~repro.uarch.trace.Trace`
+        or any iterable of uops — e.g. the lazy
+        :meth:`~repro.workloads.generator.TraceGenerator.stream` or
+        :func:`~repro.uarch.traceio.stream_trace` generators — and is
+        consumed exactly once, so the whole replay is bounded-memory.
+        """
         self.reset()
         # Hoisted hot-loop state: the per-uop loop below runs for every
         # trace uop, so config fields, structures and bound methods are
@@ -261,6 +267,7 @@ class TraceDrivenCore:
         #: uop ``index - rob`` when uop ``index`` allocates).
         retire_ring = [0.0] * rob
 
+        index = -1
         for index, uop in enumerate(trace):
             # --- allocate ------------------------------------------------
             if allocs_this_cycle >= alloc_width:
@@ -377,7 +384,7 @@ class TraceDrivenCore:
 
         cycles = max(last_complete, alloc_cycle, 1.0)
         return CoreResult(
-            uops=len(trace),
+            uops=index + 1,
             cycles=cycles,
             int_rf=self.int_rf.finalize(cycles),
             fp_rf=self.fp_rf.finalize(cycles),

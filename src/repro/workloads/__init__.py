@@ -11,7 +11,10 @@ the substitution argument.
 - :mod:`repro.workloads.datagen` — biased operand/address generators,
   including the x87 80-bit encoding for FP register data.
 - :mod:`repro.workloads.suites` — the ten Table 1 suite profiles.
-- :mod:`repro.workloads.generator` — :class:`TraceGenerator`.
+- :mod:`repro.workloads.generator` — :class:`TraceGenerator` (with lazy
+  ``stream()`` / ``iter_address_stream`` twins for bounded-memory runs).
+- :mod:`repro.workloads.multiprog` — multiprogram stream interleaving
+  (round-robin / random-slice) for interference scenarios.
 """
 
 from repro.workloads.datagen import (
@@ -30,6 +33,13 @@ from repro.workloads.generator import (
     TraceGenerator,
     generate_workload,
     generate_address_stream,
+    iter_address_stream,
+)
+from repro.workloads.multiprog import (
+    INTERLEAVE_POLICIES,
+    interleave,
+    multiprog_address_stream,
+    multiprog_uop_stream,
 )
 
 __all__ = [
@@ -44,4 +54,9 @@ __all__ = [
     "TraceGenerator",
     "generate_workload",
     "generate_address_stream",
+    "iter_address_stream",
+    "INTERLEAVE_POLICIES",
+    "interleave",
+    "multiprog_address_stream",
+    "multiprog_uop_stream",
 ]

@@ -14,7 +14,7 @@ profiling traces out of 531) are stable.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence
 
 from repro.uarch.trace import Trace
 from repro.uarch.uop import Uop, UopClass
@@ -96,12 +96,34 @@ class TraceGenerator:
         trace_index: int = 0,
     ) -> Trace:
         """Generate one trace of the given suite."""
+        profile = get_profile(suite)
+        trace = Trace(name=f"{suite}-{trace_index:03d}",
+                      suite=profile.name)
+        for uop in self.stream(suite, length=length,
+                               trace_index=trace_index):
+            trace.append(uop)
+        return trace
+
+    def stream(
+        self,
+        suite: str,
+        length: int = DEFAULT_TRACE_LENGTH,
+        trace_index: int = 0,
+    ) -> Iterator[Uop]:
+        """Lazily yield the exact uop sequence :meth:`generate` builds.
+
+        The generator is bounded-memory: nothing is materialised, so
+        paper-scale trace lengths stream straight into
+        :meth:`~repro.uarch.core.TraceDrivenCore.run` (which accepts any
+        iterable) without holding a :class:`~repro.uarch.trace.Trace`.
+        Bit-identical to :meth:`generate` for the same (seed, suite,
+        trace_index) — asserted by ``tests/test_streaming.py``.
+        """
         if length <= 0:
             raise ValueError("length must be positive")
         profile = get_profile(suite)
         rng = random.Random(f"{self.seed}/{suite}/{trace_index}")
-        return _synthesise(profile, rng, length,
-                           name=f"{suite}-{trace_index:03d}")
+        return _synthesise_uops(profile, rng, length)
 
     def generate_suite(
         self,
@@ -156,6 +178,22 @@ def generate_address_stream(
     is ~50x cheaper to generate than full uop traces.  Addresses follow
     the same per-suite working-set model as :class:`TraceGenerator`.
     """
+    return list(iter_address_stream(suite, length=length, seed=seed,
+                                    trace_index=trace_index))
+
+
+def iter_address_stream(
+    suite: str,
+    length: int = 50_000,
+    seed: int = 0,
+    trace_index: int = 0,
+) -> Iterator[int]:
+    """Iterator twin of :func:`generate_address_stream`.
+
+    Yields the bit-identical address sequence without materialising the
+    list, so paper-scale streams replay through
+    :meth:`~repro.uarch.cache.Cache.replay` in bounded memory.
+    """
     if length <= 0:
         raise ValueError("length must be positive")
     profile = get_profile(suite)
@@ -166,15 +204,22 @@ def generate_address_stream(
         hot_fraction=profile.hot_fraction,
         regions=profile.regions,
     )
-    return [addresses.next() for _ in range(length)]
+    return _iter_addresses(addresses, length)
+
+
+def _iter_addresses(addresses: AddressGenerator,
+                    length: int) -> Iterator[int]:
+    next_address = addresses.next
+    for __ in range(length):
+        yield next_address()
 
 
 # ----------------------------------------------------------------------
 # Internals
 # ----------------------------------------------------------------------
-def _synthesise(
-    profile: SuiteProfile, rng: random.Random, length: int, name: str
-) -> Trace:
+def _synthesise_uops(
+    profile: SuiteProfile, rng: random.Random, length: int
+) -> Iterator[Uop]:
     weights = profile.int_value_weights
     int_values = BiasedIntGenerator(
         rng,
@@ -201,7 +246,6 @@ def _synthesise(
     recent_fp: List[int] = list(range(2))
     tos = 0
 
-    trace = Trace(name=name, suite=profile.name)
     for seq in range(length):
         kind = rng.choices(classes, weights=mix)[0]
         is_fp = kind is UopClass.FP
@@ -213,8 +257,7 @@ def _synthesise(
         )
         if is_fp:
             tos = (tos + rng.choice((0, 1, 7))) % 8
-        trace.append(uop)
-    return trace
+        yield uop
 
 
 def _pick_source(

@@ -286,16 +286,48 @@ class TestStudyDifferential:
         )
         assert _run_from_json(spec) == legacy
 
+    def test_multiprog(self):
+        # The suite tuple binds as ONE point parameter (the programs
+        # sharing the cache), not as a per-suite grid axis.
+        spec = self._spec(
+            "multiprog", suites=("office", "kernels"), seed=7,
+            sweep={"protection.dl0.params.ratio": [0.4, 0.6]},
+        )
+        legacy = _run_legacy(
+            "multiprog",
+            base={"length": self.LENGTH, "seed": 7,
+                  "suites": ["office", "kernels"]},
+            grid={"ratio": [0.4, 0.6]},
+        )
+        assert _run_from_json(spec) == legacy
+
+    def test_multiprog_policy_axis(self):
+        spec = self._spec(
+            "multiprog", suites=("office", "kernels"), seed=8,
+            sweep={"workload.interleave": ["round_robin",
+                                           "random_slice"]},
+        )
+        legacy = _run_legacy(
+            "multiprog",
+            base={"length": self.LENGTH, "seed": 8,
+                  "suites": ["office", "kernels"]},
+            grid={"policy": ["round_robin", "random_slice"]},
+        )
+        assert _run_from_json(spec) == legacy
+
     def test_every_registered_study_has_a_differential_case(self):
         """New studies must be added to this class (and get spec_paths)."""
         from repro.experiments import get_study, study_names
 
         covered = {"caches", "invert_ratio", "victim_policy", "regfile",
-                   "vmin_power", "penelope"}
+                   "vmin_power", "penelope", "multiprog"}
         assert set(study_names()) == covered
         for name in covered:
-            # Workload axes must be spec-bound for run_study to work.
-            assert "suite" in get_study(name).spec_paths
+            # Workload axes must be spec-bound for run_study to work
+            # ("suite" fans out per suite; "suites" binds the whole
+            # multiprogram tuple).
+            spec_paths = get_study(name).spec_paths
+            assert "suite" in spec_paths or "suites" in spec_paths
 
 
 class TestStudySpecErrors:

@@ -119,6 +119,41 @@ class TestStore:
             handle.write("not json\nnull\n123\n{}\n")
         assert len(ResultStore(path)) == 1
 
+    def test_concurrent_appends_never_interleave(self, tmp_path):
+        """put() is one O_APPEND write per record: hammering one store
+        file from many threads must yield only whole, parseable lines."""
+        import threading
+
+        path = str(tmp_path / "store.jsonl")
+        n_threads, per_thread = 8, 25
+        # Bulky metrics so a buffered writer would plausibly split the
+        # line across flushes.
+        padding = "x" * 512
+
+        def writer(worker):
+            store = ResultStore(path)
+            for i in range(per_thread):
+                point = ExperimentPoint.from_dict(
+                    "caches", {"worker": worker, "i": i})
+                store.put(point, {"value": worker * 1000 + i,
+                                  "padding": padding})
+
+        threads = [threading.Thread(target=writer, args=(w,))
+                   for w in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        with open(path) as handle:
+            lines = handle.readlines()
+        assert len(lines) == n_threads * per_thread
+        for line in lines:
+            record = json.loads(line)  # no interleaved partial lines
+            assert record["metrics"]["padding"] == padding
+        merged = ResultStore(path)
+        assert len(merged) == n_threads * per_thread
+
     def test_clear(self, tmp_path):
         path = str(tmp_path / "store.jsonl")
         store = ResultStore(path)
@@ -182,6 +217,27 @@ class TestRunner:
         metrics = [r.metrics for r in outcome]
         assert metrics[0] == metrics[1]
 
+    def test_duplicate_points_execute_once_and_fan_out(self, tmp_path):
+        """Identical content hashes at different slots are ONE
+        computation: a single execution, a single store write, and the
+        result fanned back to every slot."""
+        spec = SweepSpec(
+            "caches",
+            base=dict(TINY_BASE),
+            grid={"ratio": [0.5, 0.5, 0.5], "suite": ["office"]},
+        )
+        store = ResultStore(str(tmp_path / "store.jsonl"))
+        seen = []
+        outcome = SweepRunner(store=store, workers=1,
+                              progress=seen.append).run(spec)
+        assert len(outcome) == len(seen) == 3
+        # One executed primary, two zero-cost fan-outs.
+        assert outcome.executed == 1 and outcome.cache_hits == 2
+        assert len({r.point.key for r in outcome}) == 1
+        assert [r.metrics for r in outcome] == [outcome.results[0].metrics] * 3
+        with open(store.path) as handle:
+            assert len(handle.readlines()) == 1
+
     def test_unknown_study_raises(self):
         with pytest.raises(KeyError):
             run_sweep(SweepSpec("no_such_study"))
@@ -204,7 +260,8 @@ class TestRunner:
 class TestRegistry:
     def test_all_studies_registered(self):
         assert {"caches", "regfile", "penelope", "invert_ratio",
-                "vmin_power", "victim_policy"} <= set(study_names())
+                "vmin_power", "victim_policy",
+                "multiprog"} <= set(study_names())
 
     def test_defaults_are_bound(self):
         study = get_study("caches")

@@ -1,16 +1,30 @@
 """Tests for trace serialization."""
 
+import json
 import os
 
 import pytest
 
-from repro.uarch.traceio import iter_trace_records, load_trace, save_trace
+from repro.uarch.traceio import (
+    iter_trace_records,
+    load_trace,
+    save_trace,
+    stream_trace,
+)
 from repro.workloads import TraceGenerator
 
 
 @pytest.fixture()
 def trace():
     return TraceGenerator(seed=3).generate("multimedia", length=400)
+
+
+def assert_traces_equal(lhs, rhs):
+    assert lhs.name == rhs.name
+    assert lhs.suite == rhs.suite
+    assert len(lhs) == len(rhs)
+    for original, restored in zip(lhs, rhs):
+        assert original.__dict__ == restored.__dict__
 
 
 class TestRoundTrip:
@@ -46,6 +60,47 @@ class TestRoundTrip:
         assert a.dl0.misses == b.dl0.misses
 
 
+class TestPackedFormat:
+    """v2 (default) vs the legacy v1 object records."""
+
+    def test_v1_and_v2_load_identically(self, trace, tmp_path):
+        v1 = str(tmp_path / "v1.jsonl")
+        v2 = str(tmp_path / "v2.jsonl")
+        save_trace(trace, v1, format=1)
+        save_trace(trace, v2)  # v2 is the default
+        assert_traces_equal(load_trace(v1), load_trace(v2))
+        assert_traces_equal(load_trace(v2), trace)
+
+    def test_v2_is_smaller(self, trace, tmp_path):
+        v1 = str(tmp_path / "v1.jsonl")
+        v2 = str(tmp_path / "v2.jsonl")
+        save_trace(trace, v1, format=1)
+        save_trace(trace, v2)
+        # The packed encoding drops every repeated key; anything short
+        # of a 2x cut means the format regressed to objects.
+        assert os.path.getsize(v2) * 2 < os.path.getsize(v1)
+
+    def test_v2_header_is_self_describing(self, trace, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        save_trace(trace, path)
+        header = json.loads(open(path).readline())
+        assert header["format"] == 2
+        assert header["fields"][0] == "seq"
+        assert "alu" in header["classes"]
+
+    def test_unknown_write_format_rejected(self, trace, tmp_path):
+        with pytest.raises(ValueError, match="format"):
+            save_trace(trace, str(tmp_path / "t.jsonl"), format=3)
+
+    def test_v1_to_v2_rewrite_round_trip(self, trace, tmp_path):
+        """Migrating an old v1 file to v2 preserves every uop."""
+        v1 = str(tmp_path / "old.jsonl")
+        save_trace(trace, v1, format=1)
+        migrated = str(tmp_path / "new.jsonl")
+        save_trace(load_trace(v1), migrated)
+        assert_traces_equal(load_trace(migrated), trace)
+
+
 class TestStreaming:
     def test_iter_records(self, trace, tmp_path):
         path = str(tmp_path / "t.jsonl")
@@ -54,6 +109,61 @@ class TestStreaming:
         assert len(records) == len(trace)
         assert records[0]["seq"] == 0
         assert "uop_class" in records[0]
+
+    def test_iter_records_shape_identical_across_formats(self, trace,
+                                                         tmp_path):
+        v1 = str(tmp_path / "v1.jsonl")
+        v2 = str(tmp_path / "v2.jsonl")
+        save_trace(trace, v1, format=1)
+        save_trace(trace, v2)
+        assert list(iter_trace_records(v1)) == list(iter_trace_records(v2))
+
+    @pytest.mark.parametrize("fmt", [1, 2])
+    @pytest.mark.parametrize("chunk", [1, 7, 4096])
+    def test_stream_trace_equals_load(self, trace, tmp_path, fmt, chunk):
+        path = str(tmp_path / "t.jsonl")
+        save_trace(trace, path, format=fmt)
+        streamed = list(stream_trace(path, chunk=chunk))
+        for original, restored in zip(trace, streamed):
+            assert original.__dict__ == restored.__dict__
+        assert len(streamed) == len(trace)
+
+    def test_stream_trace_gzip(self, trace, tmp_path):
+        path = str(tmp_path / "t.jsonl.gz")
+        save_trace(trace, path)
+        assert len(list(stream_trace(path))) == len(trace)
+
+    def test_stream_trace_core_replay_equivalence(self, trace, tmp_path):
+        from repro.uarch import TraceDrivenCore
+
+        path = str(tmp_path / "t.jsonl")
+        save_trace(trace, path)
+        eager = TraceDrivenCore().run(trace)
+        lazy = TraceDrivenCore().run(stream_trace(path))
+        assert eager.uops == lazy.uops
+        assert eager.cycles == lazy.cycles
+        assert eager.dl0.misses == lazy.dl0.misses
+
+    def test_stream_trace_validates_header_eagerly(self, tmp_path):
+        path = str(tmp_path / "empty.jsonl")
+        open(path, "w").close()
+        with pytest.raises(ValueError, match="empty"):
+            stream_trace(path)  # before the first uop is pulled
+
+    def test_stream_trace_truncation_detected(self, trace, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        save_trace(trace, path)
+        lines = open(path).readlines()
+        with open(path, "w") as handle:
+            handle.writelines(lines[:-10])
+        with pytest.raises(ValueError, match="header declares"):
+            list(stream_trace(path))
+
+    def test_stream_trace_rejects_bad_chunk(self, trace, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        save_trace(trace, path)
+        with pytest.raises(ValueError, match="chunk"):
+            stream_trace(path, chunk=0)
 
 
 class TestErrors:
@@ -78,4 +188,104 @@ class TestErrors:
         with open(path, "w") as handle:
             handle.writelines(lines[:-10])
         with pytest.raises(ValueError, match="header declares"):
+            load_trace(path)
+
+    @pytest.mark.parametrize("missing", ["name", "suite", "length"])
+    def test_header_missing_key_names_file(self, tmp_path, missing):
+        """A missing header key used to surface as a bare KeyError."""
+        path = str(tmp_path / "broken.jsonl")
+        header = {"format": 1, "name": "x", "suite": "y", "length": 0}
+        del header[missing]
+        with open(path, "w") as handle:
+            handle.write(json.dumps(header) + "\n")
+        with pytest.raises(ValueError) as excinfo:
+            load_trace(path)
+        assert "broken.jsonl" in str(excinfo.value)
+        assert missing in str(excinfo.value)
+
+    def test_iter_records_validates_header(self, tmp_path):
+        """iter_trace_records used to skip header validation entirely."""
+        path = str(tmp_path / "broken.jsonl")
+        with open(path, "w") as handle:
+            handle.write('{"format": 1, "name": "x"}\n')
+            handle.write('{"seq": 0}\n')
+        with pytest.raises(ValueError) as excinfo:
+            list(iter_trace_records(path))
+        assert "broken.jsonl" in str(excinfo.value)
+
+        empty = str(tmp_path / "empty.jsonl")
+        open(empty, "w").close()
+        with pytest.raises(ValueError, match="empty"):
+            list(iter_trace_records(empty))
+
+        bad_version = str(tmp_path / "bad.jsonl")
+        with open(bad_version, "w") as handle:
+            handle.write('{"format": 99, "name": "x", "suite": "y", '
+                         '"length": 0}\n')
+        with pytest.raises(ValueError, match="format"):
+            list(iter_trace_records(bad_version))
+
+    def test_non_json_header_rejected(self, tmp_path):
+        path = str(tmp_path / "garbage.jsonl")
+        with open(path, "w") as handle:
+            handle.write("not json at all\n")
+        with pytest.raises(ValueError, match="garbage.jsonl"):
+            load_trace(path)
+
+    def test_v2_reordered_fields_rejected(self, trace, tmp_path):
+        """The positional decode must refuse a foreign field layout
+        rather than misassign every value silently."""
+        path = str(tmp_path / "t.jsonl")
+        save_trace(trace, path)
+        lines = open(path).readlines()
+        header = json.loads(lines[0])
+        header["fields"][2], header["fields"][3] = (
+            header["fields"][3], header["fields"][2])
+        lines[0] = json.dumps(header) + "\n"
+        with open(path, "w") as handle:
+            handle.writelines(lines)
+        with pytest.raises(ValueError, match="field"):
+            load_trace(path)
+        with pytest.raises(ValueError, match="field"):
+            list(iter_trace_records(path))
+
+    def test_v2_corrupt_record_names_file(self, trace, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        save_trace(trace, path)
+        lines = open(path).readlines()
+        truncated_row = json.dumps(json.loads(lines[1])[:5])
+        negative_class = json.dumps(
+            [-1 if i == 1 else v
+             for i, v in enumerate(json.loads(lines[1]))])
+        for bad_record in (
+            '{"seq": 0, "uop_class": "alu"}',  # object, not array
+            negative_class,                    # class index out of range
+            truncated_row,                     # wrong arity
+        ):
+            with open(path, "w") as handle:
+                handle.write(lines[0])
+                handle.write(bad_record + "\n")
+            with pytest.raises(ValueError, match="t.jsonl"):
+                load_trace(path)
+            with pytest.raises(ValueError, match="t.jsonl"):
+                list(iter_trace_records(path))
+
+    def test_v1_corrupt_record_names_file(self, trace, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        save_trace(trace, path, format=1)
+        lines = open(path).readlines()
+        bad = json.loads(lines[1])
+        bad["uop_class"] = "xyz"  # not a UopClass value
+        with open(path, "w") as handle:
+            handle.write(lines[0])
+            handle.write(json.dumps(bad) + "\n")
+        with pytest.raises(ValueError, match="t.jsonl"):
+            load_trace(path)
+
+    def test_bad_length_type_rejected(self, tmp_path):
+        path = str(tmp_path / "badlen.jsonl")
+        with open(path, "w") as handle:
+            handle.write('{"format": 1, "name": "x", "suite": "y", '
+                         '"length": "lots"}\n')
+        with pytest.raises(ValueError, match="length"):
             load_trace(path)
