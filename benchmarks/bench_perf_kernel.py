@@ -18,13 +18,14 @@ import random
 import tempfile
 import time
 
-from repro.analysis import format_table
+from repro.analysis import format_series, format_table
 from repro.core.cache_like import (
     LineDynamicScheme,
     LineFixedScheme,
     ProtectedCache,
     SetFixedScheme,
 )
+from repro.metrics import IntervalTelemetry
 from repro.uarch import TraceDrivenCore
 from repro.uarch.cache import Cache, CacheConfig
 from repro.workloads import TraceGenerator
@@ -43,6 +44,12 @@ PRE_PR_LINE_FIXED_US = 107.0
 #: (pre-overhaul it was 15x; post-overhaul ~2x — 6x leaves headroom
 #: for noisy CI machines while still catching an O(lines) regression).
 MAX_PROTECTED_OVERHEAD = 6.0
+
+#: Interval-telemetry collection (chunked replay + periodic MetricSet
+#: snapshots) must stay within this fraction of the plain seed-counter
+#: replay — the metrics API is pull-based, so the hot path pays only
+#: chunk bookkeeping, not per-access instrumentation.
+MAX_METRICS_OVERHEAD = 0.05
 
 CONFIG = CacheConfig(name="DL0-32K-8w", size_bytes=32 * 1024, ways=8)
 
@@ -149,6 +156,79 @@ def test_perf_traceio(benchmark):
              f"{perf['load_s']['v1'] / max(perf['load_s']['v2'], 1e-9):.2f}x"
              f" faster")
     write_result("perf_traceio.txt", text, data={**perf, "smoke": SMOKE})
+
+
+def run_metrics_overhead():
+    """Plain replay vs interval-telemetry replay of the same stream."""
+    stream = uniform_stream(STREAM_LENGTH, seed=43)
+    every = max(2_000, STREAM_LENGTH // 10)
+
+    def plain():
+        Cache(CONFIG).replay(stream)
+
+    last = {}
+
+    def instrumented():
+        telemetry = IntervalTelemetry(Cache(CONFIG), every=every)
+        telemetry.replay(stream)
+        # runs are deterministic, so the last timed run's telemetry
+        # doubles as the correctness/artefact sample for free.
+        last["telemetry"] = telemetry
+
+    plain_s = _best_of(5, plain)
+    instrumented_s = _best_of(5, instrumented)
+    reference = Cache(CONFIG)
+    reference.replay(stream)
+    return plain_s, instrumented_s, last["telemetry"], reference
+
+
+def test_perf_metrics_overhead(benchmark):
+    """Interval telemetry must cost <5% over the seed counters."""
+    plain_s, instrumented_s, telemetry, reference = benchmark.pedantic(
+        run_metrics_overhead, rounds=1, iterations=1
+    )
+    overhead = instrumented_s / plain_s - 1.0
+
+    # Correctness rides along: the chunked, snapshotting replay is
+    # bit-identical to one replay call, interval deltas telescope to
+    # the end-of-run totals, and a streaming run yields >= 2 intervals.
+    totals = telemetry.totals()
+    assert totals["misses"] == reference.stats.misses
+    assert totals["hits"] == reference.stats.hits
+    deltas = telemetry.deltas()
+    assert len(deltas) >= 2
+    assert sum(d["misses"] for d in deltas) == reference.stats.misses
+
+    # The 5% gate only means anything on full-size, non-smoke timing.
+    if not SMOKE and STREAM_LENGTH >= 100_000:
+        assert overhead < MAX_METRICS_OVERHEAD, (
+            f"metrics collection costs {overhead:.1%} on the hot "
+            f"replay path (plain {plain_s:.4f}s vs instrumented "
+            f"{instrumented_s:.4f}s)"
+        )
+
+    text = format_table(
+        ["target", "seconds", "vs plain"],
+        [
+            ["plain replay", f"{plain_s:.4f}", "1.00x"],
+            ["interval telemetry", f"{instrumented_s:.4f}",
+             f"{instrumented_s / plain_s:.2f}x"],
+        ],
+        title=(f"metrics-collection overhead ({STREAM_LENGTH} accesses, "
+               f"{len(telemetry.snapshots)} snapshots)"),
+    )
+    text += "\n\n" + format_series(
+        {k: float(v) for k, v in telemetry.series("misses").items()},
+        title="dl0 misses per interval", percent=False,
+    )
+    write_result("perf_metrics_intervals.txt", text, data={
+        "stream_length": STREAM_LENGTH,
+        "plain_s": plain_s,
+        "instrumented_s": instrumented_s,
+        "overhead_frac": overhead,
+        "telemetry": telemetry.to_payload(),
+        "smoke": SMOKE,
+    })
 
 
 def test_perf_kernel(benchmark):

@@ -12,6 +12,9 @@ Layered structure:
   metric (the paper's contribution).
 - :mod:`repro.experiments` — declarative sweeps, parallel execution
   and the cached result store (the run-coordination layer).
+- :mod:`repro.metrics` — the unified telemetry API: typed stat trees
+  (:class:`~repro.metrics.stats.MetricSet`, the ``MetricSource``
+  protocol) and bounded-memory interval snapshots.
 - :mod:`repro.config` — typed, JSON-serialisable specs
   (:class:`~repro.config.specs.ProcessorSpec`, ``ProtectionSpec``,
   ``WorkloadSpec``, ``StudySpec``) and the string-keyed mechanism
@@ -32,6 +35,6 @@ Quick start::
     print(report.efficiency, "vs baseline", report.baseline_efficiency)
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = ["__version__"]

@@ -14,6 +14,7 @@ from repro.analysis.report import (
     format_table,
     format_series,
     format_histogram,
+    format_interval_report,
 )
 
 __all__ = [
@@ -23,4 +24,5 @@ __all__ = [
     "format_table",
     "format_series",
     "format_histogram",
+    "format_interval_report",
 ]

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
+from repro.metrics import NUMERIC_KINDS, kind_of_value, payload_deltas
+
 
 def format_table(
     headers: Sequence[str],
@@ -47,6 +49,50 @@ def format_series(
         shown = f"{value * 100:6.2f}%" if percent else f"{value:8.4f}"
         lines.append(f"{str(label):>24s} {shown} {bar}")
     return "\n".join(lines)
+
+
+def format_interval_report(
+    payload: Mapping[str, object],
+    metrics: Sequence[str] = (),
+    bar_width: int = 40,
+) -> str:
+    """Render an interval-telemetry payload as per-metric bar series.
+
+    ``payload`` is an :meth:`repro.metrics.telemetry.IntervalTelemetry.
+    to_payload` dict (possibly JSON round-tripped from a benchmark
+    artefact); each chosen stat renders one :func:`format_series` block
+    of its per-interval deltas.  Default selection: every cumulative
+    (counter) path with a nonzero delta somewhere — the stats whose
+    interval story differs from their totals.
+    """
+    labels, deltas = payload_deltas(payload)
+    schema = payload.get("schema") or {}
+    available = [
+        path for path in deltas[0]
+        if all(kind_of_value(d[path]) in NUMERIC_KINDS for d in deltas)
+    ]
+    chosen = list(metrics)
+    if chosen:
+        unknown = [m for m in chosen if m not in available]
+        if unknown:
+            raise ValueError(
+                f"unknown or non-numeric metric(s) "
+                f"{', '.join(unknown)}; renderable: "
+                f"{', '.join(available) or '(none)'}"
+            )
+    else:
+        chosen = [
+            path for path in available
+            if schema.get(path, {}).get("kind") == "counter"
+            and any(d[path] for d in deltas)
+        ] or available
+    blocks = []
+    for path in chosen:
+        series = {label: float(delta[path])
+                  for label, delta in zip(labels, deltas)}
+        blocks.append(format_series(series, title=path, percent=False,
+                                    bar_width=bar_width))
+    return "\n\n".join(blocks)
 
 
 def format_histogram(

@@ -361,7 +361,12 @@ def run_study(spec: StudySpec, *, store=None, workers: Optional[int] = None,
     """Run a :class:`StudySpec` through the experiment engine.
 
     Returns the engine's :class:`~repro.experiments.runner.SweepResult`.
-    ``store=None`` disables result caching (pass a
+    Each point result exposes both metric views: ``result.metrics`` is
+    the legacy flat dict (what the store persists, key-for-key
+    bit-identical to pre-metrics releases) and ``result.metric_tree``
+    is the typed :class:`~repro.metrics.stats.MetricSet` (Ratio /
+    Derived stats intact on fresh executions, value-typed on cache
+    hits).  ``store=None`` disables result caching (pass a
     :class:`~repro.experiments.store.ResultStore` to enable it);
     ``workers`` defaults to ``spec.workers``.
     """

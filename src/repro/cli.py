@@ -422,6 +422,103 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
                 os.environ[key] = value
 
 
+def cmd_report(args: argparse.Namespace) -> int:
+    """Render stored sweep results (or interval telemetry) as a report.
+
+    Unlike ``repro results`` (a raw record listing), this renders the
+    same aggregated view a live ``repro sweep`` prints — from the store
+    alone, so any cached sweep can be re-reported without re-running
+    anything.  With ``--intervals`` it instead renders an
+    interval-telemetry JSON artefact (e.g. the one
+    ``bench_perf_kernel.py`` emits) as per-interval bar series.
+    """
+    from repro.analysis import format_interval_report
+
+    if args.intervals:
+        from repro.metrics import load_interval_payload
+
+        try:
+            payload = load_interval_payload(args.intervals)
+            # Render before printing: a broken output pipe (`| head`)
+            # must not masquerade as a file-read error.
+            rendered = format_interval_report(
+                payload, metrics=args.metrics.split(",") if args.metrics
+                else ())
+        except OSError as exc:
+            print(f"error: cannot read {args.intervals!r}: "
+                  f"{exc.strerror}", file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(rendered)
+        return 0
+
+    if not args.study:
+        print("error: pass --study NAME (or --intervals FILE)",
+              file=sys.stderr)
+        return 2
+    from repro.experiments import (
+        ExperimentPoint,
+        PointResult,
+        ResultStore,
+        format_summary,
+        metric_names,
+    )
+
+    store = ResultStore(args.store)
+    records = store.records(study=args.study)
+    if not records:
+        print(f"no stored results for study {args.study!r} in "
+              f"{store.path}", file=sys.stderr)
+        return 1
+    results = [
+        PointResult(
+            point=ExperimentPoint.from_dict(record.study, record.params),
+            metrics=dict(record.metrics),
+            cached=True,
+            elapsed=record.elapsed,
+        )
+        for record in records
+    ]
+    if args.group_by:
+        group_by = args.group_by.split(",")
+        known = {key for result in results for key in result.params}
+        bad = [k for k in group_by if k not in known]
+        if bad:
+            print(f"error: unknown --group-by key(s) {', '.join(bad)}; "
+                  f"available: {', '.join(sorted(known))}",
+                  file=sys.stderr)
+            return 2
+    else:
+        group_by = _varying_params(results)
+    metrics = args.metrics.split(",") if args.metrics else ()
+    if metrics:
+        known_metrics = set(metric_names(results))
+        bad = [m for m in metrics if m not in known_metrics]
+        if bad:
+            print(f"error: unknown metric(s) {', '.join(bad)}; "
+                  f"available: {', '.join(sorted(known_metrics))}",
+                  file=sys.stderr)
+            return 2
+    print(format_summary(
+        results, group_by=group_by, metrics=metrics, agg=args.agg,
+        title=f"report {args.study}: {len(results)} stored points "
+              f"({store.path})",
+    ))
+    return 0
+
+
+def _varying_params(results) -> List[str]:
+    """Parameters whose values differ across the results (sorted) —
+    the natural grouping axes of a stored sweep."""
+    seen: dict = {}
+    for result in results:
+        for key, value in result.params.items():
+            seen.setdefault(key, set()).add(repr(value))
+    return sorted(key for key, values in seen.items() if len(values) > 1)
+
+
 def cmd_results(args: argparse.Namespace) -> int:
     from repro.experiments import ResultStore
 
@@ -596,6 +693,32 @@ def build_parser() -> argparse.ArgumentParser:
     results.add_argument("--limit", type=int, default=0,
                          help="show only the newest N records")
     results.set_defaults(func=cmd_results)
+
+    report = commands.add_parser(
+        "report",
+        help="render stored sweep results (or interval telemetry) as "
+             "an aggregated report",
+        epilog="examples: repro report --study caches --group-by ratio; "
+               "repro report --intervals "
+               "benchmarks/results/perf_metrics_intervals.json",
+    )
+    report.add_argument("--study", default=None,
+                        help="render this study's stored records")
+    report.add_argument("--store", default=None, metavar="PATH",
+                        help="result store path (default: "
+                             "benchmarks/results/store.jsonl)")
+    report.add_argument("--group-by", default=None, metavar="K1,K2",
+                        help="grouping axes (default: every parameter "
+                             "that varies across the records)")
+    report.add_argument("--metrics", default=None, metavar="M1,M2",
+                        help="metrics to show (default: all; with "
+                             "--intervals: all active counters)")
+    report.add_argument("--agg", default="mean",
+                        choices=("mean", "min", "max"))
+    report.add_argument("--intervals", default=None, metavar="FILE",
+                        help="render an interval-telemetry JSON "
+                             "artefact as per-interval bars instead")
+    report.set_defaults(func=cmd_report)
     return parser
 
 

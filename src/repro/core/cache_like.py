@@ -505,6 +505,12 @@ class ProtectedCache:
     def config(self):
         return self.cache.config
 
+    def metrics(self):
+        """The wrapped cache's metric tree plus the scheme annotation."""
+        ms = self.cache.metrics()
+        ms.text("scheme", read=lambda: self.scheme.name)
+        return ms
+
 
 # ----------------------------------------------------------------------
 # Study harness (Table 3)

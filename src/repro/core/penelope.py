@@ -36,7 +36,9 @@ from repro.core.metric import (
     BlockCost,
     ProcessorCost,
     baseline_block_cost,
+    nbti_efficiency,
 )
+from repro.metrics import MetricSet
 from repro.nbti.guardband import DEFAULT_GUARDBAND_MODEL, GuardbandModel
 from repro.uarch.cache import Cache
 from repro.uarch.core import (
@@ -136,6 +138,8 @@ class PenelopeProcessor:
         )
         self.injector_pair = tuple(injector_pair)
         self.inject_idle = inject_idle
+        #: the most recent :meth:`evaluate` outcome (feeds `metrics()`).
+        self.last_report: Optional[PenelopeReport] = None
 
     # -- default mechanism factories (the paper's configuration) -------
     def _default_rf_protector(self, rf_name: str, width: int):
@@ -250,7 +254,7 @@ class PenelopeProcessor:
             blocks=[baseline_block_cost(b.name) for b in block_costs],
             combined_cpi=1.0,
         )
-        return PenelopeReport(
+        report = PenelopeReport(
             baseline=baseline,
             protected=protected,
             block_costs=block_costs,
@@ -262,11 +266,61 @@ class PenelopeProcessor:
             scheduler_bias=(sched_base, sched_prot),
             combined_cpi=combined_cpi,
         )
+        self.last_report = report
+        return report
+
+    # ------------------------------------------------------------------
+    # Telemetry (MetricSource)
+    # ------------------------------------------------------------------
+    def metrics(self) -> MetricSet:
+        """Metric tree of the most recent :meth:`evaluate` outcome.
+
+        Eq. (1) is wired as a :class:`~repro.metrics.stats.Derived`
+        stat over the processor's ``delay``/``guardband``/``tdp``
+        gauges (internal inputs), at whole-processor, baseline, and
+        per-block level, so any consumer can re-derive NBTIefficiency
+        from the tree alone.
+        """
+        report = self.last_report
+        if report is None:
+            raise RuntimeError(
+                "PenelopeProcessor.metrics() needs an evaluate() run "
+                "first: the tree reports the last evaluation"
+            )
+        ms = MetricSet()
+        _cost_metrics(ms, report.processor)
+        ms.gauge("combined_cpi", report.combined_cpi)
+        ms.gauge("adder_guardband", report.adder_guardband)
+        _cost_metrics(ms.child("baseline"), report.baseline_processor)
+        blocks = ms.child("blocks")
+        for cost in report.block_costs:
+            _cost_metrics(blocks.child(cost.name), cost)
+        for name, (base, prot) in (
+            ("int_rf", report.int_rf_bias),
+            ("fp_rf", report.fp_rf_bias),
+            ("scheduler", report.scheduler_bias),
+        ):
+            bias = ms.child(name)
+            bias.gauge("base_worst_bias", base)
+            bias.gauge("protected_worst_bias", prot)
+        return ms
 
 
 # ----------------------------------------------------------------------
 # Aggregation helpers
 # ----------------------------------------------------------------------
+def _cost_metrics(ms: MetricSet, cost) -> MetricSet:
+    """Eq. (1) inputs as internal gauges + the Derived efficiency."""
+    ms.gauge("delay", cost.delay, internal=True)
+    ms.gauge("guardband", cost.guardband, internal=True)
+    ms.gauge("tdp", cost.tdp, internal=True)
+    ms.derived("efficiency", nbti_efficiency,
+               args=("delay", "guardband", "tdp"),
+               help="eq. (1): (delay*(1+guardband))^3 * TDP")
+    return ms
+
+
+
 def _merged_rf_bias(results: Sequence[CoreResult], fp: bool) -> float:
     """Worst per-bit bias aggregated over traces (cycle-weighted)."""
     total = None

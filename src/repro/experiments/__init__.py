@@ -12,10 +12,13 @@ to live in ``cli.py``, ``benchmarks/bench_ablation_*.py`` and
   with a stable content hash (``point.key``).
 - :mod:`repro.experiments.registry` — named studies (``caches``,
   ``regfile``, ``penelope``, ``invert_ratio``, ``vmin_power``,
-  ``victim_policy``) map a point's parameters onto the existing entry
-  points (``TraceDrivenCore``, ``run_cache_study``,
-  ``PenelopeProcessor``) and return flat metric dicts.  Workloads are
-  memoised per worker so points sharing a trace only generate it once.
+  ``victim_policy``, ``multiprog``) map a point's parameters onto the
+  existing entry points (``TraceDrivenCore``, ``run_cache_study``,
+  ``PenelopeProcessor``) and return typed
+  :class:`~repro.metrics.stats.MetricSet` trees whose ``flatten()`` is
+  the legacy flat metric dict (bit-identical — store rows and point
+  hashes are unchanged).  Workloads are memoised per worker so points
+  sharing a trace only generate it once.
 - :mod:`repro.experiments.runner` — :class:`SweepRunner` consults the
   store, then fans cache misses out over ``multiprocessing`` workers
   (serial for ``workers=1``); results return in spec order, so
@@ -80,6 +83,7 @@ from repro.experiments.store import (
     default_store_path,
 )
 from repro.experiments.summary import (
+    MIXED,
     aggregate_metric,
     format_summary,
     group_results,
@@ -88,6 +92,7 @@ from repro.experiments.summary import (
 )
 
 __all__ = [
+    "MIXED",
     "StudyDefinition",
     "get_study",
     "register_study",

@@ -2,11 +2,22 @@
 
 Each study is a module-level function (picklable, so sweeps can fan out
 over ``multiprocessing`` workers) that takes the point's parameter dict
-and returns a flat dict of JSON-serialisable metrics.  Studies wrap the
-repo's existing entry points — :class:`~repro.uarch.core.TraceDrivenCore`,
+and returns a typed :class:`~repro.metrics.stats.MetricSet` of
+JSON-serialisable measurements.  Studies wrap the repo's existing entry
+points — :class:`~repro.uarch.core.TraceDrivenCore`,
 :func:`~repro.core.cache_like.run_cache_study`, and
 :class:`~repro.core.penelope.PenelopeProcessor` — they add no modelling
 of their own.
+
+Study metric sets are flat (no nested namespaces) and value-backed (no
+live ``read`` closures), so :meth:`~repro.metrics.stats.MetricSet.
+flatten` reproduces the PR 1–4 flat metric dicts key-for-key and
+value-for-value (differential-tested in
+``tests/test_metrics_differential.py``) — existing store rows and point
+hashes stay valid — and the sets pickle across ``multiprocessing``
+workers.  Derived quantities (eq. (1)'s NBTIefficiency, the expected
+steady-state bias, the multiprogram CPI loss) are
+:class:`~repro.metrics.stats.Derived` stats over their sibling inputs.
 
 Generated traces and address streams are memoised per worker process
 (:func:`cached_trace` / :func:`cached_address_stream`), so points that
@@ -16,9 +27,11 @@ share a workload axis only pay generation once.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Mapping, Tuple
+from functools import partial
+from typing import Any, Callable, Dict, List, Mapping, Tuple, Union
 
 from repro.core.cache_like import LineFixedScheme as _LineFixedScheme
+from repro.metrics import MetricSet
 from repro.workloads import suite_names
 
 # ----------------------------------------------------------------------
@@ -114,7 +127,7 @@ class StudyDefinition:
     name: str
     description: str
     defaults: Mapping[str, Any]
-    run: Callable[[Mapping[str, Any]], Dict[str, Any]]
+    run: Callable[[Mapping[str, Any]], Union[MetricSet, Dict[str, Any]]]
     spec_paths: Mapping[str, str] = None
 
     def __post_init__(self) -> None:
@@ -127,7 +140,20 @@ class StudyDefinition:
         return bound
 
     def execute(self, params: Mapping[str, Any]) -> Dict[str, Any]:
-        return self.run(self.bind(params))
+        """The study's flat metric dict (the legacy/store row view)."""
+        return self.execute_metrics(params).flatten()
+
+    def execute_metrics(self, params: Mapping[str, Any]) -> MetricSet:
+        """The study's typed metric tree.
+
+        Registered study functions return :class:`MetricSet`s; a plain
+        dict (externally registered legacy study) is lifted into one
+        with value-derived stat kinds.
+        """
+        result = self.run(self.bind(params))
+        if not isinstance(result, MetricSet):
+            result = MetricSet.from_flat(result)
+        return result
 
 
 _STUDIES: Dict[str, StudyDefinition] = {}
@@ -256,7 +282,7 @@ def _scheme_factory(params: Mapping[str, Any], created: List[Any]):
         "dyn_period": "protection.dl0.params.period",
     },
 )
-def run_caches_point(params: Mapping[str, Any]) -> Dict[str, Any]:
+def run_caches_point(params: Mapping[str, Any]) -> MetricSet:
     from repro.core.cache_like import run_cache_study
 
     created: List[Any] = []
@@ -269,18 +295,17 @@ def run_caches_point(params: Mapping[str, Any]) -> Dict[str, Any]:
         [stream],
         seed=int(params["seed"]) + _suite_index(params["suite"]),
     )
-    metrics: Dict[str, Any] = {
-        "scheme_name": study.scheme_name,
-        "mean_loss": study.mean_loss,
-        "inverted_ratio": study.mean_inverted_ratio,
-        "baseline_miss_rate": study.baseline_miss_rate,
-        "scheme_miss_rate": study.scheme_miss_rate,
-    }
+    ms = MetricSet()
+    ms.text("scheme_name", study.scheme_name)
+    ms.gauge("mean_loss", study.mean_loss)
+    ms.ratio("inverted_ratio", study.mean_inverted_ratio)
+    ms.ratio("baseline_miss_rate", study.baseline_miss_rate)
+    ms.ratio("scheme_miss_rate", study.scheme_miss_rate)
     if created and hasattr(created[-1], "activation_history"):
-        metrics["activations"] = "".join(
+        ms.text("activations", "".join(
             "A" if d else "-" for d in created[-1].activation_history
-        )
-    return metrics
+        ))
+    return ms
 
 
 @register_study(
@@ -302,16 +327,19 @@ def run_caches_point(params: Mapping[str, Any]) -> Dict[str, Any]:
         "ratio": "protection.dl0.params.ratio",
     },
 )
-def run_invert_ratio_point(params: Mapping[str, Any]) -> Dict[str, Any]:
-    metrics = run_caches_point({**params, "scheme": "line_fixed"})
-    achieved = metrics["inverted_ratio"]
-    bias = float(params["data_bias"])
-    # Steady-state worst-cell bias when a fraction `achieved` of cells
-    # holds inverted (complementary) contents of `bias`-biased data.
-    metrics["expected_bias"] = (
-        bias * (1.0 - achieved) + (1.0 - bias) * achieved
-    )
-    return metrics
+def run_invert_ratio_point(params: Mapping[str, Any]) -> MetricSet:
+    ms = run_caches_point({**params, "scheme": "line_fixed"})
+    # Steady-state worst-cell bias when a fraction `inverted_ratio` of
+    # cells holds inverted (complementary) contents of `data_bias`-biased
+    # data: derived from the achieved-ratio sibling.
+    ms.derived("expected_bias",
+               partial(_expected_bias, float(params["data_bias"])),
+               args=("inverted_ratio",))
+    return ms
+
+
+def _expected_bias(data_bias: float, achieved: float) -> float:
+    return data_bias * (1.0 - achieved) + (1.0 - data_bias) * achieved
 
 
 @register_study(
@@ -330,7 +358,7 @@ def run_invert_ratio_point(params: Mapping[str, Any]) -> Dict[str, Any]:
         "ratio": "protection.dl0.params.ratio",
     },
 )
-def run_victim_policy_point(params: Mapping[str, Any]) -> Dict[str, Any]:
+def run_victim_policy_point(params: Mapping[str, Any]) -> MetricSet:
     from repro.core.cache_like import LineFixedScheme, run_cache_study
     from repro.uarch.cache import Cache
 
@@ -347,12 +375,12 @@ def run_victim_policy_point(params: Mapping[str, Any]) -> Dict[str, Any]:
                             [stream], seed=seed)
     baseline = Cache(config)
     baseline.replay(stream)
-    return {
-        "lru_loss": lru.mean_loss,
-        "naive_loss": naive.mean_loss,
-        "mru_hit_fraction": baseline.stats.mru_hit_fraction(0),
-        "mru1_hit_fraction": baseline.stats.mru_hit_fraction(1),
-    }
+    ms = MetricSet()
+    ms.gauge("lru_loss", lru.mean_loss)
+    ms.gauge("naive_loss", naive.mean_loss)
+    ms.ratio("mru_hit_fraction", baseline.stats.mru_hit_fraction(0))
+    ms.ratio("mru1_hit_fraction", baseline.stats.mru_hit_fraction(1))
+    return ms
 
 
 class AnyPositionLineFixedScheme(_LineFixedScheme):
@@ -388,16 +416,16 @@ class AnyPositionLineFixedScheme(_LineFixedScheme):
         "sample_period": "protection.sample_period",
     },
 )
-def run_regfile_point(params: Mapping[str, Any]) -> Dict[str, Any]:
+def run_regfile_point(params: Mapping[str, Any]) -> MetricSet:
     base_bias, isv_bias, free_fraction = cached_rf_biases(
         params["suite"], int(params["length"]), int(params["seed"]),
         float(params["sample_period"]),
     )
-    return {
-        "base_worst_bias": base_bias,
-        "isv_worst_bias": isv_bias,
-        "free_fraction": free_fraction,
-    }
+    ms = MetricSet()
+    ms.gauge("base_worst_bias", base_bias)
+    ms.gauge("isv_worst_bias", isv_bias)
+    ms.ratio("free_fraction", free_fraction)
+    return ms
 
 
 @register_study(
@@ -417,7 +445,7 @@ def run_regfile_point(params: Mapping[str, Any]) -> Dict[str, Any]:
         "sample_period": "protection.sample_period",
     },
 )
-def run_vmin_power_point(params: Mapping[str, Any]) -> Dict[str, Any]:
+def run_vmin_power_point(params: Mapping[str, Any]) -> MetricSet:
     from repro.nbti.power import ArrayPowerModel
 
     base_bias, isv_bias, __ = cached_rf_biases(
@@ -426,16 +454,18 @@ def run_vmin_power_point(params: Mapping[str, Any]) -> Dict[str, Any]:
     )
     model = ArrayPowerModel()
     target = float(params["target"])
-    return {
-        "base_bias": base_bias,
-        "isv_bias": isv_bias,
-        "base_vmin": model.vmin(base_bias),
-        "isv_vmin": model.vmin(isv_bias),
-        "base_power": model.power_at_scaled_voltage(base_bias, target),
-        "isv_power": model.power_at_scaled_voltage(isv_bias, target),
-        "savings": model.savings_from_balancing(base_bias, isv_bias,
-                                                target),
-    }
+    ms = MetricSet()
+    ms.gauge("base_bias", base_bias)
+    ms.gauge("isv_bias", isv_bias)
+    ms.gauge("base_vmin", model.vmin(base_bias))
+    ms.gauge("isv_vmin", model.vmin(isv_bias))
+    ms.gauge("base_power", model.power_at_scaled_voltage(base_bias,
+                                                         target))
+    ms.gauge("isv_power", model.power_at_scaled_voltage(isv_bias,
+                                                        target))
+    ms.gauge("savings", model.savings_from_balancing(base_bias, isv_bias,
+                                                     target))
+    return ms
 
 
 # ----------------------------------------------------------------------
@@ -476,7 +506,7 @@ def run_vmin_power_point(params: Mapping[str, Any]) -> Dict[str, Any]:
         "dyn_period": "protection.dl0.params.period",
     },
 )
-def run_multiprog_point(params: Mapping[str, Any]) -> Dict[str, Any]:
+def run_multiprog_point(params: Mapping[str, Any]) -> MetricSet:
     """N programs time-sharing one protected cache, fully streamed.
 
     Unlike the single-program studies, nothing is materialised: the
@@ -522,21 +552,25 @@ def run_multiprog_point(params: Mapping[str, Any]) -> Dict[str, Any]:
     protected.replay(multiprog_address_stream(suites, **stream_kwargs))
     scheme_rate = protected.stats.miss_rate
 
-    metrics: Dict[str, Any] = {
-        "scheme_name": created[-1].name,
-        "n_programs": len(suites),
-        "baseline_miss_rate": base_rate,
-        "scheme_miss_rate": scheme_rate,
-        "mean_loss": performance_loss(base_rate, scheme_rate,
-                                      DL0_ACCESSES_PER_UOP,
-                                      DL0_EFFECTIVE_PENALTY),
-        "inverted_ratio": protected.cache.inverted_count() / config.lines,
-    }
+    ms = MetricSet()
+    ms.text("scheme_name", created[-1].name)
+    ms.counter("n_programs", len(suites))
+    ms.ratio("baseline_miss_rate", base_rate)
+    ms.ratio("scheme_miss_rate", scheme_rate)
+    # The CPI loss is a formula over the two miss-rate siblings
+    # (eq.-style Derived; evaluates to performance_loss() exactly).
+    ms.derived("mean_loss",
+               partial(performance_loss,
+                       accesses_per_uop=DL0_ACCESSES_PER_UOP,
+                       effective_penalty=DL0_EFFECTIVE_PENALTY),
+               args=("baseline_miss_rate", "scheme_miss_rate"))
+    ms.ratio("inverted_ratio",
+             protected.cache.inverted_count() / config.lines)
     if hasattr(created[-1], "activation_history"):
-        metrics["activations"] = "".join(
+        ms.text("activations", "".join(
             "A" if d else "-" for d in created[-1].activation_history
-        )
-    return metrics
+        ))
+    return ms
 
 
 # ----------------------------------------------------------------------
@@ -558,8 +592,9 @@ def run_multiprog_point(params: Mapping[str, Any]) -> Dict[str, Any]:
         "sample_period": "protection.sample_period",
     },
 )
-def run_penelope_point(params: Mapping[str, Any]) -> Dict[str, Any]:
+def run_penelope_point(params: Mapping[str, Any]) -> MetricSet:
     from repro.core import PenelopeProcessor
+    from repro.core.metric import nbti_efficiency
 
     trace = cached_trace(
         params["suite"], int(params["length"]), int(params["seed"])
@@ -570,11 +605,26 @@ def run_penelope_point(params: Mapping[str, Any]) -> Dict[str, Any]:
         seed=int(params["seed"]),
     )
     report = processor.evaluate([trace])
-    return {
-        "efficiency": report.efficiency,
-        "baseline_efficiency": report.baseline_efficiency,
-        "combined_cpi": report.combined_cpi,
-        "adder_guardband": report.adder_guardband,
-        "int_rf_base_bias": report.int_rf_bias[0],
-        "int_rf_isv_bias": report.int_rf_bias[1],
-    }
+    # Eq. (1) as a Derived over its (internal) delay/guardband/TDP
+    # inputs — bit-identical to report.efficiency, since ProcessorCost
+    # evaluates the very same nbti_efficiency() call.
+    ms = MetricSet()
+    ms.gauge("delay", report.processor.delay, internal=True)
+    ms.gauge("guardband", report.processor.guardband, internal=True)
+    ms.gauge("tdp", report.processor.tdp, internal=True)
+    ms.derived("efficiency", nbti_efficiency,
+               args=("delay", "guardband", "tdp"))
+    ms.gauge("baseline_delay", report.baseline_processor.delay,
+             internal=True)
+    ms.gauge("baseline_guardband", report.baseline_processor.guardband,
+             internal=True)
+    ms.gauge("baseline_tdp", report.baseline_processor.tdp,
+             internal=True)
+    ms.derived("baseline_efficiency", nbti_efficiency,
+               args=("baseline_delay", "baseline_guardband",
+                     "baseline_tdp"))
+    ms.gauge("combined_cpi", report.combined_cpi)
+    ms.gauge("adder_guardband", report.adder_guardband)
+    ms.gauge("int_rf_base_bias", report.int_rf_bias[0])
+    ms.gauge("int_rf_isv_bias", report.int_rf_bias[1])
+    return ms

@@ -19,23 +19,31 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.experiments.registry import get_study
 from repro.experiments.spec import ExperimentPoint, SweepSpec
 from repro.experiments.store import ResultStore
+from repro.metrics import MetricSet
 
 
-def execute_point(point: ExperimentPoint) -> Tuple[str, Dict[str, Any], float]:
-    """Run one point; module-level so worker pools can pickle it."""
+def execute_point(
+    point: ExperimentPoint,
+) -> Tuple[str, MetricSet, float]:
+    """Run one point; module-level so worker pools can pickle it.
+
+    Returns the study's typed :class:`MetricSet` (study sets are
+    value-backed, so they pickle back from pool workers); callers
+    needing the legacy flat dict take ``metric_set.flatten()``.
+    """
     started = time.perf_counter()
-    metrics = get_study(point.study).execute(point.as_dict())
-    return point.key, metrics, time.perf_counter() - started
+    metric_set = get_study(point.study).execute_metrics(point.as_dict())
+    return point.key, metric_set, time.perf_counter() - started
 
 
 def _execute_indexed(
     task: Tuple[int, ExperimentPoint],
-) -> Tuple[int, Dict[str, Any], float]:
+) -> Tuple[int, MetricSet, float]:
     """Pool task keyed by slot index, so duplicate points (identical
     content hash) still fill distinct result slots."""
     index, point = task
-    __, metrics, elapsed = execute_point(point)
-    return index, metrics, elapsed
+    __, metric_set, elapsed = execute_point(point)
+    return index, metric_set, elapsed
 
 
 @dataclass
@@ -46,10 +54,25 @@ class PointResult:
     metrics: Dict[str, Any]
     cached: bool
     elapsed: float
+    #: The typed stat tree of a freshly executed point; ``None`` for
+    #: store cache hits (the JSONL rows only keep the flat view).
+    metric_set: Optional[MetricSet] = None
 
     @property
     def params(self) -> Dict[str, Any]:
         return self.point.as_dict()
+
+    @property
+    def metric_tree(self) -> MetricSet:
+        """The typed tree view of this point's metrics.
+
+        Fresh executions return the study's own set (Ratio/Derived
+        stats intact); cached results are lifted from the flat row with
+        value-derived kinds, so both views always exist.
+        """
+        if self.metric_set is not None:
+            return self.metric_set
+        return MetricSet.from_flat(self.metrics)
 
     def value(self, name: str, default: Any = None) -> Any:
         return self.metrics.get(name, default)
@@ -176,6 +199,7 @@ class SweepRunner:
                         metrics=dict(result.metrics),
                         cached=True,
                         elapsed=result.elapsed,
+                        metric_set=result.metric_set,
                     )
                     slots[dup_index] = duplicate
                     self._report(duplicate)
@@ -214,19 +238,22 @@ class SweepRunner:
 
     def _execute_serial(self, pending):
         for index, point in pending:
-            key, metrics, elapsed = execute_point(point)
+            key, metric_set, elapsed = execute_point(point)
             assert key == point.key
-            yield index, PointResult(point=point, metrics=metrics,
-                                     cached=False, elapsed=elapsed)
+            yield index, PointResult(point=point,
+                                     metrics=metric_set.flatten(),
+                                     cached=False, elapsed=elapsed,
+                                     metric_set=metric_set)
 
     def _execute_pool(self, pool, pending):
         point_by_index = dict(pending)
-        for index, metrics, elapsed in pool.imap_unordered(
+        for index, metric_set, elapsed in pool.imap_unordered(
             _execute_indexed, list(pending)
         ):
             yield index, PointResult(
-                point=point_by_index[index], metrics=metrics,
-                cached=False, elapsed=elapsed,
+                point=point_by_index[index],
+                metrics=metric_set.flatten(),
+                cached=False, elapsed=elapsed, metric_set=metric_set,
             )
 
 

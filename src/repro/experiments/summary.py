@@ -3,9 +3,17 @@
 Groups point results by one or more parameter axes, reduces each metric
 with mean/min/max, and renders through
 :func:`repro.analysis.format_table` so sweep output matches the rest of
-the repo's artefacts.  Non-numeric metrics (e.g. the ``line_dynamic``
-activation string) pass through when a group holds one point and are
-skipped otherwise.
+the repo's artefacts.
+
+Aggregation dispatches on *stat type* (the
+:func:`repro.metrics.kind_of_value` vocabulary, shared with the typed
+:class:`~repro.metrics.stats.MetricSet` trees the studies now emit)
+rather than ad-hoc numeric-ness guessing: numeric kinds (counter,
+gauge, ratio, derived) reduce arithmetically; text kinds pass through
+when every point in the group agrees and otherwise render an explicit
+``(mixed)`` cell — a multi-point group can no longer silently drop a
+string column.  Kinds are derived from the JSON-round-tripped values,
+so cached and freshly executed sweeps summarise identically.
 """
 
 from __future__ import annotations
@@ -14,12 +22,17 @@ from typing import Any, Dict, Iterable, List, Sequence, Tuple
 
 from repro.analysis import format_table
 from repro.experiments.runner import PointResult
+from repro.metrics import NUMERIC_KINDS, kind_of_value
 
 AGGREGATORS = {
     "mean": lambda values: sum(values) / len(values),
     "min": min,
     "max": max,
 }
+
+#: Rendered for a >1-point group whose non-numeric metric values
+#: disagree (previously the cell was silently dropped).
+MIXED = "(mixed)"
 
 
 def group_results(
@@ -40,7 +53,13 @@ def aggregate_metric(
     metric: str,
     agg: str = "mean",
 ) -> Any:
-    """Reduce one metric over a group; None when absent/non-numeric."""
+    """Reduce one metric over a group, dispatching on stat type.
+
+    Numeric stats reduce with ``agg``; non-numeric stats (scheme names,
+    activation strings, distributions) pass through when uniform across
+    the group and report :data:`MIXED` otherwise.  ``None`` only when
+    the metric is absent from every point.
+    """
     if agg not in AGGREGATORS:
         raise ValueError(
             f"unknown aggregator {agg!r}; choose from "
@@ -49,10 +68,12 @@ def aggregate_metric(
     values = [r.metrics[metric] for r in results if metric in r.metrics]
     if not values:
         return None
-    if any(isinstance(v, bool) or not isinstance(v, (int, float))
-           for v in values):
-        return values[0] if len(values) == 1 else None
-    return AGGREGATORS[agg](values)
+    if all(kind_of_value(v) in NUMERIC_KINDS for v in values):
+        return AGGREGATORS[agg](values)
+    first = values[0]
+    if all(value == first for value in values[1:]):
+        return first
+    return MIXED
 
 
 def metric_names(results: Iterable[PointResult]) -> List[str]:

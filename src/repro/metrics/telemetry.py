@@ -1,0 +1,261 @@
+"""Interval telemetry: bounded-memory snapshot streams over a run.
+
+The streaming pipeline (PR 4) made arbitrarily long replays possible,
+but the only observable outcome was the end-of-run totals.
+:class:`IntervalTelemetry` snapshots a :class:`~repro.metrics.stats.
+MetricSet` every N items of a stream, so a 10M-uop run reports its
+counters as a series of typed interval deltas (whose sums telescope to
+the totals) while holding only the snapshot list — not the stream — in
+memory.
+
+Two attachment styles, matching the two replay styles in the repo:
+
+- :meth:`IntervalTelemetry.watch` wraps any iterable consumed one item
+  at a time (``TraceDrivenCore.run`` processes each uop — including
+  its ``dl0.access`` counter updates — before pulling the next, so a
+  snapshot taken inside the wrapper sees exactly-N-uop state);
+- :meth:`IntervalTelemetry.replay` drives batched kernels
+  (``Cache.replay`` / ``ProtectedCache.replay`` flush their counters
+  once per call, so mid-stream wrapper snapshots would read stale
+  totals) chunk by chunk, snapshotting between bit-identical chunks.
+
+Snapshots serialise to a JSON payload (:meth:`to_payload` /
+:meth:`save`) carrying the set's schema, so ``repro report
+--intervals`` can recompute typed deltas from the artefact alone.
+"""
+
+from __future__ import annotations
+
+import json
+from itertools import islice
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.metrics.stats import (
+    MetricSet,
+    MetricSnapshot,
+    MetricSource,
+    delta_values,
+)
+
+
+class IntervalTelemetry:
+    """Snapshot a metric tree every ``every`` items of ONE stream.
+
+    A telemetry instance covers exactly one stream: ``watch()`` /
+    ``replay()`` refuse to attach twice, because consumers like
+    ``TraceDrivenCore.run`` reset their counters per run — carrying one
+    snapshot series across a reset would silently produce negative
+    deltas.  Create a fresh (cheap) instance per run.
+    """
+
+    def __init__(self, source: Union[MetricSource, MetricSet],
+                 every: int) -> None:
+        if every <= 0:
+            raise ValueError("every must be positive")
+        self.every = int(every)
+        #: the bound component (None when built from a bare MetricSet —
+        #: snapshots still work, but ``replay()`` needs the component).
+        self.source = None if isinstance(source, MetricSet) else source
+        self.metric_set = (source if isinstance(source, MetricSet)
+                           else source.metrics())
+        self.schema = self.metric_set.schema()
+        self.snapshots: List[MetricSnapshot] = []
+        self._count = 0
+        self._attached = False
+
+    def _attach_once(self) -> None:
+        if self._attached:
+            raise RuntimeError(
+                "this IntervalTelemetry already covered a stream; "
+                "create a new instance per run (runs may reset the "
+                "source's counters, which would corrupt the deltas)"
+            )
+        self._attached = True
+        self.record()
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Items observed so far (the label of the latest snapshot)."""
+        return self._count
+
+    def record(self, label: Any = None) -> MetricSnapshot:
+        """Take one snapshot now (labelled with the item count)."""
+        snapshot = self.metric_set.snapshot(
+            self._count if label is None else label
+        )
+        self.snapshots.append(snapshot)
+        return snapshot
+
+    def watch(self, items: Iterable[Any]) -> Iterator[Any]:
+        """Pass ``items`` through, snapshotting every ``every`` items.
+
+        A baseline snapshot is recorded before the first item and a
+        final one after the last partial interval, so
+        :meth:`deltas` always telescopes to the end-of-run totals.
+        Only valid for consumers that fully process item k (counters
+        included) before pulling item k+1 — batched kernels must use
+        :meth:`replay` instead.  The wrapper is lazy: the baseline is
+        taken when the consumer pulls the first item, i.e. *after*
+        ``TraceDrivenCore.run`` has done its per-run reset.
+        """
+        self._attach_once()
+        every = self.every
+        count = self._count
+        for item in items:
+            yield item
+            count += 1
+            if count % every == 0:
+                self._count = count
+                self.record()
+        if count % every:
+            self._count = count
+            self.record()
+
+    def replay(self, addresses: Iterable[int]) -> int:
+        """Chunked replay of the bound source with interval snapshots.
+
+        Batched kernels (``Cache.replay`` / ``ProtectedCache.replay``)
+        flush their counters once per call, so this drives the source
+        the telemetry was constructed on chunk by chunk — bit-identical
+        to one ``source.replay(addresses)`` call, bounded by one
+        ``every``-sized chunk of memory.  Returns the total hits.
+        """
+        target = self.source
+        if target is None or not hasattr(target, "replay"):
+            raise TypeError(
+                "replay() needs the telemetry to be constructed on a "
+                "component with a replay() method (e.g. a Cache), not "
+                f"on {type(target or self.metric_set).__name__}"
+            )
+        self._attach_once()
+        hits = 0
+        every = self.every
+        if isinstance(addresses, Sequence):
+            for start in range(0, len(addresses), every):
+                chunk = addresses[start:start + every]
+                hits += target.replay(chunk)
+                self._count += len(chunk)
+                self.record()
+            return hits
+        iterator = iter(addresses)
+        while True:
+            chunk = list(islice(iterator, every))
+            if not chunk:
+                break
+            hits += target.replay(chunk)
+            self._count += len(chunk)
+            self.record()
+        return hits
+
+    # ------------------------------------------------------------------
+    def deltas(self) -> List[Dict[str, Any]]:
+        """Typed delta of each consecutive snapshot pair."""
+        return [
+            delta_values(self.schema, current.values, previous.values)
+            for previous, current in zip(self.snapshots,
+                                         self.snapshots[1:])
+        ]
+
+    def interval_labels(self) -> List[str]:
+        """``"from..to"`` label of each delta interval."""
+        return [
+            f"{previous.label}..{current.label}"
+            for previous, current in zip(self.snapshots,
+                                         self.snapshots[1:])
+        ]
+
+    def totals(self) -> Dict[str, Any]:
+        """The latest snapshot's values (end-of-run totals)."""
+        return dict(self.snapshots[-1].values) if self.snapshots else {}
+
+    def series(self, path: str) -> Dict[str, Any]:
+        """``{interval label: delta}`` of one stat — ready for
+        :func:`repro.analysis.format_series`."""
+        return {
+            label: delta[path]
+            for label, delta in zip(self.interval_labels(), self.deltas())
+        }
+
+    # ------------------------------------------------------------------
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-safe artefact: schema + every labelled snapshot."""
+        return {
+            "every": self.every,
+            "schema": self.schema,
+            "snapshots": [
+                {"label": snapshot.label, "values": dict(snapshot.values)}
+                for snapshot in self.snapshots
+            ],
+        }
+
+    def save(self, path: str) -> None:
+        """Write :meth:`to_payload` as indented JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_payload(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+# ----------------------------------------------------------------------
+# Offline payload views (the `repro report --intervals` path)
+# ----------------------------------------------------------------------
+def load_interval_payload(path: str) -> Dict[str, Any]:
+    """Read an interval-telemetry JSON artefact.
+
+    Accepts both a bare :meth:`IntervalTelemetry.to_payload` file and a
+    benchmark ``write_result`` envelope whose ``data`` holds one (the
+    first value with a ``snapshots`` list wins).
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        raw = json.load(handle)
+    payload = _find_payload(raw)
+    if payload is None:
+        raise ValueError(
+            f"{path}: no interval-telemetry payload found (expected a "
+            f"'snapshots' list of labelled value dicts)"
+        )
+    return payload
+
+
+def _find_payload(node: Any) -> Optional[Dict[str, Any]]:
+    if isinstance(node, Mapping):
+        snapshots = node.get("snapshots")
+        if isinstance(snapshots, list):
+            return dict(node)
+        for value in node.values():
+            found = _find_payload(value)
+            if found is not None:
+                return found
+    return None
+
+
+def payload_deltas(
+    payload: Mapping[str, Any],
+) -> Tuple[List[str], List[Dict[str, Any]]]:
+    """``(interval labels, typed deltas)`` of a (possibly JSON
+    round-tripped) telemetry payload."""
+    snapshots = payload.get("snapshots") or []
+    if len(snapshots) < 2:
+        raise ValueError(
+            "interval payload holds fewer than two snapshots; nothing "
+            "to delta"
+        )
+    schema = payload.get("schema") or {}
+    labels: List[str] = []
+    deltas: List[Dict[str, Any]] = []
+    for previous, current in zip(snapshots, snapshots[1:]):
+        labels.append(f"{previous.get('label')}..{current.get('label')}")
+        deltas.append(delta_values(schema, current.get("values", {}),
+                                   previous.get("values", {})))
+    return labels, deltas

@@ -19,6 +19,8 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.metrics import MetricSet
+
 
 @lru_cache(maxsize=1 << 16)
 def _unpack_small(value: int, width: int) -> np.ndarray:
@@ -153,3 +155,19 @@ class BitBiasAccumulator:
 
     def total_observed_time(self) -> float:
         return float(self.time_zero.sum() + self.time_one.sum())
+
+    # ------------------------------------------------------------------
+    # Telemetry (MetricSource)
+    # ------------------------------------------------------------------
+    def metrics(self) -> MetricSet:
+        """Live metric tree over the residency accounting.
+
+        Bias reads aggregate only *closed* intervals (the matrices);
+        intervals still open at snapshot time contribute after the next
+        value change or :meth:`finalize` — reading never mutates.
+        """
+        ms = MetricSet()
+        ms.counter("observed_time", read=self.total_observed_time,
+                   help="sum of all closed residency intervals")
+        ms.gauge("worst_bias", read=self.worst_bias)
+        return ms

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.metrics import MetricSet
 from repro.uarch.bitbias import BitBiasAccumulator
 
 #: 2-bit saturating counter states.
@@ -45,9 +46,17 @@ class BimodalPredictor:
         if not 0 <= initial_state <= STRONG_TAKEN:
             raise ValueError("invalid counter state")
         self.entries = entries
+        self.initial_state = initial_state
         self._counters = [initial_state] * entries
         self.bias = BitBiasAccumulator(entries, COUNTER_BITS,
                                        initial_value=initial_state)
+        self.stats = PredictorStats()
+        self._now = 0.0
+
+    def reset(self) -> None:
+        """Restore the freshly-constructed table, stats and clock."""
+        self._counters = [self.initial_state] * self.entries
+        self.bias.reset()
         self.stats = PredictorStats()
         self._now = 0.0
 
@@ -94,6 +103,18 @@ class BimodalPredictor:
         self.bias.finalize(self._now)
         return self.bias.worst_bias()
 
+    # ------------------------------------------------------------------
+    # Telemetry (MetricSource)
+    # ------------------------------------------------------------------
+    def metrics(self) -> MetricSet:
+        ms = MetricSet()
+        ms.counter("predictions", read=lambda: self.stats.predictions)
+        ms.counter("correct", read=lambda: self.stats.hits)
+        ms.ratio("accuracy", numerator="correct",
+                 denominator="predictions")
+        ms.child("bias", self.bias.metrics())
+        return ms
+
 
 class ProtectedBimodalPredictor:
     """Bimodal predictor with a rotating inverted region.
@@ -121,6 +142,13 @@ class ProtectedBimodalPredictor:
         self.ratio = ratio
         self.rotation_period = rotation_period
         self._window = int(self.predictor.entries * ratio)
+        self._first = 0
+        self._updates = 0
+        self._invert_window()
+
+    def reset(self) -> None:
+        """Cold predictor with the inverted window re-applied at 0."""
+        self.predictor.reset()
         self._first = 0
         self._updates = 0
         self._invert_window()
@@ -154,6 +182,16 @@ class ProtectedBimodalPredictor:
 
     def worst_bias(self) -> float:
         return self.predictor.worst_bias()
+
+    # ------------------------------------------------------------------
+    # Telemetry (MetricSource)
+    # ------------------------------------------------------------------
+    def metrics(self) -> MetricSet:
+        ms = self.predictor.metrics()
+        ms.gauge("inverted_frac",
+                 read=lambda: self._window / self.predictor.entries,
+                 help="fraction of counters holding inverted repair data")
+        return ms
 
     # ------------------------------------------------------------------
     def _invert_window(self) -> None:

@@ -37,6 +37,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.metrics import MetricSet
+
 
 class LineState(enum.Enum):
     INVALID = "invalid"
@@ -425,3 +427,36 @@ class Cache:
 
     def reset_stats(self) -> None:
         self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # Telemetry (MetricSource)
+    # ------------------------------------------------------------------
+    def metrics(self) -> MetricSet:
+        """Live metric tree over this cache's counters.
+
+        Every stat reads through ``self`` at snapshot time, so the tree
+        survives :meth:`reset` (which swaps the ``stats`` object) and
+        costs the access path nothing — collection is pull-based.
+        """
+        ms = MetricSet()
+        ms.counter("accesses", read=lambda: self.stats.accesses)
+        ms.counter("hits", read=lambda: self.stats.hits)
+        ms.counter("misses", read=lambda: self.stats.misses)
+        ms.counter("shadow_hits", read=lambda: self.stats.shadow_hits)
+        ms.counter("inversions", read=lambda: self.stats.inversions)
+        ms.counter("refills_of_inverted",
+                   read=lambda: self.stats.refills_of_inverted)
+        ms.ratio("miss_rate", numerator="misses", denominator="accesses")
+        ms.ratio("hit_rate", numerator="hits", denominator="accesses")
+        ms.gauge("inverted_lines", read=self.inverted_count)
+        ms.gauge("shadow_lines", read=self.shadow_count)
+        lines = self.config.lines
+        ms.gauge("inverted_frac",
+                 read=lambda: self._inverted_lines / lines,
+                 help="fraction of lines holding inverted repair data")
+        ms.distribution(
+            "hit_way_position",
+            read=lambda: dict(self.stats.hit_way_position),
+            help="hits per LRU-stack position (0 = MRU)",
+        )
+        return ms

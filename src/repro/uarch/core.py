@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.metrics import MetricSet
 from repro.uarch.cache import Cache, CacheConfig, CacheStats
 from repro.uarch.mob import MemoryOrderBuffer
 from repro.uarch.ports import AdderPolicy, AdderPool
@@ -217,6 +218,31 @@ class TraceDrivenCore:
         self._ready.clear()
         self._mapping.clear()
         self._issue_use.clear()
+
+    # ------------------------------------------------------------------
+    # Telemetry (MetricSource)
+    # ------------------------------------------------------------------
+    def metrics(self) -> MetricSet:
+        """Live metric tree over every structure of the core.
+
+        Paths are dotted (``dl0.miss_rate``, ``int_rf.allocations``).
+        The tree reads through the component objects, so it stays valid
+        across :meth:`reset` / repeated :meth:`run` calls, and —
+        because ``run`` fully processes uop k (``dl0.access`` counters
+        included) before pulling uop k+1 from the trace iterable — an
+        :class:`~repro.metrics.telemetry.IntervalTelemetry` ``watch``
+        wrapper snapshots exact N-uop interval state on streaming runs.
+        """
+        ms = MetricSet()
+        ms.child("int_rf", self.int_rf.metrics())
+        ms.child("fp_rf", self.fp_rf.metrics())
+        ms.child("scheduler", self.scheduler.metrics())
+        ms.child("mob", self.mob.metrics())
+        for name, unit in (("dl0", self.dl0), ("dtlb", self.dtlb)):
+            unit_metrics = getattr(unit, "metrics", None)
+            if unit_metrics is not None:
+                ms.child(name, unit_metrics())
+        return ms
 
     # ------------------------------------------------------------------
     def run(self, trace: Iterable[Uop]) -> CoreResult:

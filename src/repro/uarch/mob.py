@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Dict
 
+from repro.metrics import MetricSet
+
 
 class MemoryOrderBuffer:
     """Round-robin MOB slot allocator."""
@@ -52,3 +54,13 @@ class MemoryOrderBuffer:
         counts = list(self._outstanding.values())
         mean = sum(counts) / len(counts)
         return max(counts) / mean if mean else 1.0
+
+    # ------------------------------------------------------------------
+    # Telemetry (MetricSource)
+    # ------------------------------------------------------------------
+    def metrics(self) -> MetricSet:
+        ms = MetricSet()
+        ms.counter("allocations", read=lambda: self.allocations)
+        ms.gauge("usage_imbalance", read=self.usage_imbalance,
+                 help="max/mean allocations per MOB id (1.0 = even)")
+        return ms

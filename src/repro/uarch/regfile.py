@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.metrics import MetricSet
 from repro.uarch.bitbias import BitBiasAccumulator
 
 
@@ -221,6 +222,27 @@ class RegisterFile:
             bias_to_zero=self.bias.bias_to_zero(),
             worst_bias=self.bias.worst_bias(),
         )
+
+    # ------------------------------------------------------------------
+    # Telemetry (MetricSource)
+    # ------------------------------------------------------------------
+    def metrics(self) -> MetricSet:
+        """Live metric tree (no interval-closing: reads never mutate,
+        unlike :meth:`finalize`)."""
+        ms = MetricSet()
+        ms.counter("allocations", read=lambda: self._allocations)
+        ms.counter("releases", read=lambda: self._releases)
+        ms.counter("special_writes", read=lambda: self._special_writes)
+        ms.counter("discarded_special_writes",
+                   read=lambda: self._discarded_special)
+        ms.counter("port_checks", read=lambda: self._port_checks)
+        ms.counter("port_free_hits", read=lambda: self._port_free_hits)
+        ms.ratio("port_free_fraction", numerator="port_free_hits",
+                 denominator="port_checks", zero=1.0,
+                 help="no checks yet means every port is free "
+                      "(finalize()'s convention)")
+        ms.child("bias", self.bias.metrics())
+        return ms
 
     # ------------------------------------------------------------------
     def _use_port(self, now: float) -> None:

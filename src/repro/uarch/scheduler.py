@@ -23,6 +23,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro.metrics import MetricSet
 from repro.uarch.bitbias import BitBiasAccumulator
 from repro.uarch.uop import SCHEDULER_LAYOUT, SchedulerLayout, Uop
 
@@ -281,6 +282,30 @@ class Scheduler:
             special_writes=self._special_writes,
             discarded_special_writes=self._discarded_special,
         )
+
+    # ------------------------------------------------------------------
+    # Telemetry (MetricSource)
+    # ------------------------------------------------------------------
+    def metrics(self) -> MetricSet:
+        """Live metric tree over the scheduler's counters.
+
+        ``bias.worst_bias`` covers the whole 144-bit row (valid and
+        opcode bits included), unlike ``SchedulerStats.worst_bias``
+        which follows Figure 8 in omitting the opcode field.
+        """
+        ms = MetricSet()
+        ms.counter("allocations", read=lambda: self._allocations)
+        ms.counter("special_writes", read=lambda: self._special_writes)
+        ms.counter("discarded_special_writes",
+                   read=lambda: self._discarded_special)
+        ms.counter("port_checks", read=lambda: self._port_checks)
+        ms.counter("port_free_hits", read=lambda: self._port_free_hits)
+        ms.ratio("port_free_fraction", numerator="port_free_hits",
+                 denominator="port_checks", zero=1.0,
+                 help="no checks yet means every port is free "
+                      "(finalize()'s convention)")
+        ms.child("bias", self.bias.metrics())
+        return ms
 
     # ------------------------------------------------------------------
     def _write_fields(

@@ -20,6 +20,7 @@ class TestParser:
             "bench-smoke": ["bench-smoke", "--scale", "50"],
             "run": ["run", "--config", "study.json"],
             "show-config": ["show-config", "--study", "caches"],
+            "report": ["report", "--study", "caches"],
         }
         for argv in invocations.values():
             args = parser.parse_args(argv)
@@ -102,6 +103,76 @@ class TestCommands:
         assert main(["results", "--store", store, "--study",
                      "regfile"]) == 0
         assert "no stored results" in capsys.readouterr().out
+
+    def test_report_renders_stored_sweep(self, capsys, tmp_path):
+        store = str(tmp_path / "store.jsonl")
+        assert main(["sweep", "caches", "--grid", "ratio=0.4,0.6",
+                     "--suites", "office", "kernels", "--length", "600",
+                     "--store", store]) == 0
+        capsys.readouterr()
+
+        # Default grouping: every parameter that varies (ratio, suite).
+        assert main(["report", "--study", "caches", "--store",
+                     store]) == 0
+        out = capsys.readouterr().out
+        assert "4 stored points" in out
+        assert "mean_loss" in out and "office" in out
+
+        # Grouping across ratios: scheme_name becomes an explicit
+        # (mixed) cell instead of a silently dropped column.
+        assert main(["report", "--study", "caches", "--store", store,
+                     "--group-by", "suite",
+                     "--metrics", "scheme_name,mean_loss"]) == 0
+        out = capsys.readouterr().out
+        assert "(mixed)" in out
+
+    def test_report_bad_inputs_exit_cleanly(self, capsys, tmp_path):
+        store = str(tmp_path / "store.jsonl")
+        assert main(["report", "--store", store]) == 2
+        assert "--study" in capsys.readouterr().err
+
+        assert main(["report", "--study", "caches", "--store",
+                     store]) == 1
+        assert "no stored results" in capsys.readouterr().err
+
+        assert main(["sweep", "caches", "--grid", "ratio=0.4",
+                     "--suites", "office", "--length", "400",
+                     "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["report", "--study", "caches", "--store", store,
+                     "--group-by", "bogus"]) == 2
+        assert "unknown --group-by" in capsys.readouterr().err
+        assert main(["report", "--study", "caches", "--store", store,
+                     "--metrics", "bogus"]) == 2
+        assert "unknown metric" in capsys.readouterr().err
+
+        assert main(["report", "--intervals",
+                     str(tmp_path / "missing.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_report_renders_interval_artefact(self, capsys, tmp_path):
+        import random
+
+        from repro.metrics import IntervalTelemetry
+        from repro.uarch.cache import Cache, CacheConfig
+
+        cache = Cache(CacheConfig(name="DL0-4K-4w",
+                                  size_bytes=4 * 1024, ways=4))
+        telemetry = IntervalTelemetry(cache, every=500)
+        rng = random.Random(4)
+        telemetry.replay(
+            [rng.randrange(1 << 14) * 64 for __ in range(1500)]
+        )
+        path = tmp_path / "intervals.json"
+        telemetry.save(str(path))
+
+        assert main(["report", "--intervals", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "misses" in out and "0..500" in out
+
+        assert main(["report", "--intervals", str(path),
+                     "--metrics", "bogus"]) == 2
+        assert "unknown or non-numeric" in capsys.readouterr().err
 
     def test_sweep_help_epilog_in_sync_with_registry(self, capsys):
         from repro.experiments import study_names

@@ -293,12 +293,30 @@ class TestSummary:
                 per_point
             )
 
-    def test_non_numeric_metrics_skipped_in_groups(self):
+    def test_uniform_text_metric_passes_through_groups(self):
         results = self._results()
         groups = group_results(results, ["ratio"])
+        for (ratio,), members in groups.items():
+            # scheme_name is a string; within one ratio group every
+            # point agrees, so the value passes through instead of
+            # being silently dropped.
+            expected = f"LineFixed{int(round(ratio * 100))}%"
+            assert aggregate_metric(members, "scheme_name") == expected
+
+    def test_mixed_text_metric_renders_explicit_cell(self):
+        from repro.experiments.summary import MIXED
+
+        results = self._results()
+        # One group spanning both ratios: scheme_name differs
+        # (LineFixed40% vs LineFixed60%), so the cell must say so
+        # explicitly instead of dropping the column.
+        groups = group_results(results, ["suite"])
         for members in groups.values():
-            # scheme_name is a string; a 2-point group cannot reduce it.
-            assert aggregate_metric(members, "scheme_name") is None
+            assert len(members) > 1
+            assert aggregate_metric(members, "scheme_name") == MIXED
+        text = format_summary(results, ["suite"],
+                              metrics=["scheme_name", "mean_loss"])
+        assert MIXED in text
 
     def test_summarize_and_format(self):
         results = self._results()
