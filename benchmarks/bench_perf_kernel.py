@@ -51,6 +51,16 @@ MAX_PROTECTED_OVERHEAD = 6.0
 #: chunk bookkeeping, not per-access instrumentation.
 MAX_METRICS_OVERHEAD = 0.05
 
+#: The execution tracer (PR 6) gates: disabled it is one attribute
+#: test per replay call (<1% on the seed-counter replay), enabled it
+#: records one span per chunk, never per access (<5%).
+MAX_TRACE_DISABLED_OVERHEAD = 0.01
+MAX_TRACE_ENABLED_OVERHEAD = 0.05
+
+#: Accesses per traced chunk in the overhead bench — the same batch
+#: granularity the sweep runner traces at.
+TRACE_CHUNK = 2_000
+
 CONFIG = CacheConfig(name="DL0-32K-8w", size_bytes=32 * 1024, ways=8)
 
 
@@ -227,6 +237,112 @@ def test_perf_metrics_overhead(benchmark):
         "instrumented_s": instrumented_s,
         "overhead_frac": overhead,
         "telemetry": telemetry.to_payload(),
+        "smoke": SMOKE,
+    })
+
+
+def run_trace_overhead():
+    """Chunked seed-counter replay, three ways: untraced, traced-but-
+    disabled, traced-and-enabled.  Identical chunk lists, so the only
+    difference between the drivers is the tracer itself."""
+    from repro.obs.trace import TRACER
+
+    stream = uniform_stream(STREAM_LENGTH, seed=44)
+    chunks = [stream[i:i + TRACE_CHUNK]
+              for i in range(0, len(stream), TRACE_CHUNK)]
+
+    def untraced():
+        cache = Cache(CONFIG)
+        for chunk in chunks:
+            cache.replay(chunk)
+        return cache
+
+    def chunk_traced():
+        cache = Cache(CONFIG)
+        for chunk in chunks:
+            _t = TRACER.begin()
+            cache.replay(chunk)
+            if _t is not None:
+                TRACER.end(_t, "bench.chunk", accesses=len(chunk))
+        return cache
+
+    was_enabled = TRACER.enabled
+    try:
+        TRACER.disable()
+        base_s = _best_of(5, untraced)
+        disabled_s = _best_of(5, chunk_traced)
+        reference = untraced()
+        disabled_cache = chunk_traced()
+        TRACER.enable()
+        TRACER.clear()
+        enabled_s = _best_of(5, chunk_traced)
+        TRACER.clear()
+        enabled_cache = chunk_traced()
+        span_count = len(TRACER)
+    finally:
+        TRACER.clear()
+        if was_enabled:
+            TRACER.enable()
+        else:
+            TRACER.disable()
+    return (base_s, disabled_s, enabled_s, span_count,
+            reference, disabled_cache, enabled_cache)
+
+
+def test_perf_trace_overhead(benchmark):
+    """Tracing must cost <1% disabled and <5% enabled vs the plain
+    seed-counter replay — and must not change a single counter bit."""
+    (base_s, disabled_s, enabled_s, span_count, reference,
+     disabled_cache, enabled_cache) = benchmark.pedantic(
+        run_trace_overhead, rounds=1, iterations=1
+    )
+    disabled_overhead = disabled_s / base_s - 1.0
+    enabled_overhead = enabled_s / base_s - 1.0
+
+    # Correctness rides along: the bit-identity differential.  The
+    # replays are deterministic, so every counter must agree whether
+    # the region was untraced, traced-disabled, or traced-enabled.
+    for cache in (disabled_cache, enabled_cache):
+        assert cache.stats.hits == reference.stats.hits
+        assert cache.stats.misses == reference.stats.misses
+    # Enabled tracing recorded one explicit span per chunk plus the
+    # cache.replay instrumentation span each replay call emits.
+    assert span_count == 2 * len(range(0, STREAM_LENGTH, TRACE_CHUNK))
+
+    # The gates only mean anything on full-size, non-smoke timing.
+    if not SMOKE and STREAM_LENGTH >= 100_000:
+        assert disabled_overhead < MAX_TRACE_DISABLED_OVERHEAD, (
+            f"disabled tracer costs {disabled_overhead:.2%} on the hot "
+            f"replay path (base {base_s:.4f}s vs {disabled_s:.4f}s) — "
+            f"begin()/end() must stay allocation-free when off"
+        )
+        assert enabled_overhead < MAX_TRACE_ENABLED_OVERHEAD, (
+            f"enabled tracer costs {enabled_overhead:.2%} at chunk "
+            f"granularity (base {base_s:.4f}s vs {enabled_s:.4f}s)"
+        )
+
+    text = format_table(
+        ["target", "seconds", "vs untraced"],
+        [
+            ["untraced replay", f"{base_s:.4f}", "1.00x"],
+            ["tracer disabled", f"{disabled_s:.4f}",
+             f"{disabled_s / base_s:.3f}x"],
+            ["tracer enabled", f"{enabled_s:.4f}",
+             f"{enabled_s / base_s:.3f}x"],
+        ],
+        title=(f"tracer overhead ({STREAM_LENGTH} accesses in "
+               f"{TRACE_CHUNK}-access chunks, {span_count} spans "
+               f"when enabled)"),
+    )
+    write_result("perf_trace_overhead.txt", text, data={
+        "stream_length": STREAM_LENGTH,
+        "chunk": TRACE_CHUNK,
+        "base_s": base_s,
+        "disabled_s": disabled_s,
+        "enabled_s": enabled_s,
+        "disabled_overhead_frac": disabled_overhead,
+        "enabled_overhead_frac": enabled_overhead,
+        "spans_recorded": span_count,
         "smoke": SMOKE,
     })
 

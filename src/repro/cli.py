@@ -20,12 +20,30 @@ Examples
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from repro import __version__
 from repro.analysis import format_series, format_table
 from repro.workloads import suite_names
+
+
+def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="record execution spans; writes spans.jsonl and a "
+             "Perfetto-loadable trace.json next to the store",
+    )
+    parser.add_argument(
+        "--progress", default=None, choices=("line", "json", "none"),
+        help="per-point progress rendering (default: line when "
+             "--verbose, else none)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress plan, progress, summary and footer output",
+    )
 
 
 def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
@@ -188,26 +206,59 @@ def cmd_list_suites(args: argparse.Namespace) -> int:
 
 
 def _run_sweep_and_report(spec, *, workers, store, verbose, group_by,
-                          metrics_arg, agg, intro, title) -> int:
+                          metrics_arg, agg, intro, title,
+                          progress_mode=None, quiet=False,
+                          trace=False) -> int:
     """Execute an expanded sweep and print plan, progress, summary,
     and footer — shared by ``sweep`` and ``run``."""
-    from repro.experiments import SweepRunner, format_summary
+    from repro.experiments import (
+        SweepRunner,
+        default_store_path,
+        format_summary,
+    )
+    from repro.obs.progress import SweepProgress
 
-    shown = [0]
+    # --quiet beats everything; otherwise an explicit --progress mode
+    # beats the legacy --verbose spelling (which means "line").
+    mode = ("none" if quiet
+            else progress_mode or ("line" if verbose else "none"))
+    progress = SweepProgress(spec.size, mode=mode)
+    # Trace artefacts land next to the store (the run's natural output
+    # directory), or next to the default store for --no-store runs.
+    # `is not None`, not truthiness: an empty ResultStore is falsy
+    # (it has __len__), but its path is still where artefacts belong.
+    obs_dir = os.path.dirname(
+        store.path if store is not None else default_store_path()) or "."
+    trace_json = os.path.join(obs_dir, "trace.json")
+    spans_path = os.path.join(obs_dir, "spans.jsonl")
+    if trace:
+        from repro.obs.trace import TRACER
 
-    def progress(result):
-        shown[0] += 1
-        tag = ("cached" if result.cached
-               else f"{result.elapsed:6.2f}s")
-        print(f"  [{shown[0]:3d}/{spec.size}] {tag}  "
-              f"{result.point.describe()}")
+        TRACER.enable()
+    human = not quiet and mode != "json"
 
     runner = SweepRunner(store=store, workers=workers,
-                         progress=progress if verbose else None)
-    print(f"{intro}: {spec.size} points over axes "
-          f"{', '.join(spec.axis_names())} ({workers} worker"
-          f"{'s' if workers != 1 else ''})")
+                         progress=progress.update,
+                         trace_path=trace_json if trace else None)
+    if human:
+        print(f"{intro}: {spec.size} points over axes "
+              f"{', '.join(spec.axis_names())} ({workers} worker"
+              f"{'s' if workers != 1 else ''})")
     outcome = runner.run(spec)
+
+    if trace:
+        from repro.obs.trace import (
+            TRACER,
+            export_chrome_trace,
+            save_spans,
+        )
+
+        records = TRACER.records()
+        save_spans(spans_path, records)
+        events = export_chrome_trace(records, trace_json)
+        if human:
+            print(f"trace: {events} events -> {trace_json} "
+                  f"(raw spans: {spans_path})")
 
     metrics = metrics_arg.split(",") if metrics_arg else ()
     if outcome.results and metrics:
@@ -220,6 +271,21 @@ def _run_sweep_and_report(spec, *, workers, store, verbose, group_by,
                   f"available: {', '.join(sorted(known_metrics))}",
                   file=sys.stderr)
             return 2
+    if mode == "json":
+        import json
+
+        print(json.dumps({
+            "event": "summary",
+            "points": len(outcome),
+            "cache_hits": outcome.cache_hits,
+            "executed": outcome.executed,
+            "wall_time": round(outcome.wall_time, 6),
+            "run_id": outcome.run_id,
+            "manifest": outcome.manifest_path,
+        }, sort_keys=True))
+        return 0
+    if quiet:
+        return 0
     print(format_summary(
         outcome.results, group_by=group_by,
         metrics=metrics,
@@ -230,19 +296,38 @@ def _run_sweep_and_report(spec, *, workers, store, verbose, group_by,
           f"{outcome.cache_hits} cache hits, "
           f"{outcome.executed} executed"
           + ("" if store else " (store disabled)"))
+    slowest = outcome.slowest()
+    if slowest is not None:
+        print(f"slowest point: {slowest.point.describe()} "
+              f"({slowest.elapsed:.2f}s, key {slowest.point.key[:10]})")
     return 0
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments import (
+        PointExecutionError,
         ResultStore,
         SweepSpec,
         get_study,
         parse_grid_option,
     )
 
+    # Positional and --study are two spellings of the same thing
+    # (`repro sweep caches` / `repro sweep --study caches`).
+    study_name = args.study if args.study is not None else args.study_opt
+    if (args.study is not None and args.study_opt is not None
+            and args.study != args.study_opt):
+        print(f"error: positional study {args.study!r} conflicts with "
+              f"--study {args.study_opt!r}; pass one of them",
+              file=sys.stderr)
+        return 2
+    if study_name is None:
+        print("error: pass a study to sweep (positional or --study); "
+              "see `repro sweep --help` for the registered studies",
+              file=sys.stderr)
+        return 2
     try:
-        study = get_study(args.study)
+        study = get_study(study_name)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
@@ -272,7 +357,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 # point per value — silently dropping the interference
                 # this study exists to measure.
                 raise ValueError(
-                    f"study {args.study!r} takes the whole program set "
+                    f"study {study_name!r} takes the whole program set "
                     f"as one point; --grid suites=... would sweep "
                     f"single-program points instead — pass the "
                     f"programs via --suites"
@@ -281,7 +366,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 # The whole suite list is ONE point parameter (the
                 # programs sharing the cache), not a per-suite axis.
                 base["suites"] = list(args.suites)
-        spec = SweepSpec(args.study, base=base, grid=grid)
+        spec = SweepSpec(study_name, base=base, grid=grid)
 
         # Group keys are fully known before execution (defaults + base
         # + grid); rejecting typos here saves the whole sweep's compute.
@@ -304,12 +389,16 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             group_by=group_by,
             metrics_arg=args.metrics,
             agg=args.agg,
-            intro=f"sweep {args.study!r}",
-            title=f"sweep {args.study}: {study.description}",
+            intro=f"sweep {study_name!r}",
+            title=f"sweep {study_name}: {study.description}",
+            progress_mode=args.progress,
+            quiet=args.quiet,
+            trace=args.trace,
         )
-    except (ValueError, KeyError) as exc:
+    except (ValueError, KeyError, PointExecutionError) as exc:
         # Bad grid syntax, unknown scheme value, unknown suite passed
-        # via --grid suite=..., workers < 1, ...
+        # via --grid suite=..., workers < 1, a study raising inside a
+        # point (PointExecutionError names the point and params), ...
         message = exc.args[0] if exc.args else exc
         print(f"error: {message}", file=sys.stderr)
         return 2
@@ -319,7 +408,11 @@ def cmd_run(args: argparse.Namespace) -> int:
     """Run a serialized StudySpec (JSON) through the experiment engine."""
     from repro import api
     from repro.config import SpecError
-    from repro.experiments import ResultStore, get_study
+    from repro.experiments import (
+        PointExecutionError,
+        ResultStore,
+        get_study,
+    )
 
     try:
         spec = api.load_study_spec(args.config)
@@ -344,11 +437,100 @@ def cmd_run(args: argparse.Namespace) -> int:
             agg=args.agg,
             intro=f"study {spec.study!r} from {args.config}",
             title=f"study {spec.study}: {study.description}",
+            progress_mode=args.progress,
+            quiet=args.quiet,
+            trace=args.trace,
         )
-    except (SpecError, ValueError, KeyError) as exc:
+    except (SpecError, ValueError, KeyError,
+            PointExecutionError) as exc:
         message = exc.args[0] if exc.args else exc
         print(f"error: {message}", file=sys.stderr)
         return 2
+
+
+def _default_obs_dir() -> str:
+    from repro.experiments import default_store_path
+
+    return os.path.dirname(default_store_path()) or "."
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Work with recorded observability artefacts.
+
+    ``repro trace export OUT`` converts a raw span file (what
+    ``repro sweep --trace`` writes next to the store) into Chrome
+    trace-event JSON loadable in Perfetto / ``chrome://tracing``;
+    ``repro trace events`` renders the structured event log as human
+    lines.
+    """
+    if args.action == "export":
+        from repro.obs.trace import export_chrome_trace, load_spans
+
+        if not args.output:
+            print("error: pass an output path: repro trace export "
+                  "run.trace.json", file=sys.stderr)
+            return 2
+        spans_path = args.spans or os.path.join(
+            _default_obs_dir(), "spans.jsonl")
+        try:
+            records = load_spans(spans_path)
+        except OSError as exc:
+            print(f"error: cannot read {spans_path!r}: {exc.strerror}",
+                  file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        try:
+            events = export_chrome_trace(records, args.output)
+        except OSError as exc:
+            print(f"error: cannot write {args.output!r}: "
+                  f"{exc.strerror}", file=sys.stderr)
+            return 2
+        print(f"wrote {events} trace events to {args.output} "
+              f"(load in Perfetto or chrome://tracing)")
+        return 0
+
+    from repro.obs.log import read_events, render_event
+
+    events_path = args.events or os.path.join(
+        _default_obs_dir(), "events.jsonl")
+    try:
+        records = read_events(events_path, level=args.level,
+                              run_id=args.run_id)
+    except OSError as exc:
+        print(f"error: cannot read {events_path!r}: {exc.strerror}",
+              file=sys.stderr)
+        return 2
+    if args.limit > 0:
+        records = records[-args.limit:]
+    if not records:
+        print(f"no events in {events_path}")
+        return 0
+    for record in records:
+        print(render_event(record))
+    return 0
+
+
+def _print_provenance(store_path: str) -> None:
+    """One-line manifest header over stored results, when one exists.
+
+    Best-effort on purpose: a missing or corrupt manifest must never
+    block listing the results themselves.
+    """
+    from repro.obs.provenance import (
+        describe_manifest,
+        load_manifest,
+        manifest_path_for,
+    )
+
+    path = manifest_path_for(store_path)
+    if not os.path.exists(path):
+        return
+    try:
+        print(describe_manifest(load_manifest(path)))
+    except (OSError, ValueError):
+        pass
 
 
 def cmd_show_config(args: argparse.Namespace) -> int:
@@ -472,6 +654,7 @@ def cmd_report(args: argparse.Namespace) -> int:
         print(f"no stored results for study {args.study!r} in "
               f"{store.path}", file=sys.stderr)
         return 1
+    _print_provenance(store.path)
     results = [
         PointResult(
             point=ExperimentPoint.from_dict(record.study, record.params),
@@ -529,6 +712,7 @@ def cmd_results(args: argparse.Namespace) -> int:
     if not records:
         print(f"no stored results in {store.path}")
         return 0
+    _print_provenance(store.path)
     rows = []
     for record in records:
         metrics = ", ".join(
@@ -595,7 +779,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     # Validated in cmd_sweep (not argparse choices) so a typo gets the
     # same `error: unknown study ...` shape as other sweep errors.
-    sweep.add_argument("study", help="registered study to sweep")
+    sweep.add_argument("study", nargs="?", default=None,
+                       help="registered study to sweep")
+    sweep.add_argument("--study", dest="study_opt", default=None,
+                       metavar="NAME",
+                       help="alternative spelling of the positional "
+                            "study argument")
     sweep.add_argument(
         "--grid", action="append", metavar="KEY=V1,V2",
         help="one grid axis; repeatable (e.g. --grid ratio=0.4,0.5)",
@@ -624,6 +813,7 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("mean", "min", "max"))
     sweep.add_argument("--verbose", action="store_true",
                        help="print one progress line per point")
+    _add_observability_arguments(sweep)
     sweep.set_defaults(func=cmd_sweep)
 
     run = commands.add_parser(
@@ -649,6 +839,7 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=("mean", "min", "max"))
     run.add_argument("--verbose", action="store_true",
                      help="print one progress line per point")
+    _add_observability_arguments(run)
     run.set_defaults(func=cmd_run)
 
     show_config = commands.add_parser(
@@ -684,6 +875,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="pytest -k expression selecting a subset of benches",
     )
     bench_smoke.set_defaults(func=cmd_bench_smoke)
+
+    trace = commands.add_parser(
+        "trace",
+        help="export recorded spans as Chrome trace JSON, or render "
+             "the structured event log",
+        epilog="examples: repro sweep caches --trace; repro trace "
+               "export run.trace.json; repro trace events --limit 20",
+    )
+    trace.add_argument("action", choices=("export", "events"),
+                       help="export: spans -> Chrome trace JSON; "
+                            "events: render events.jsonl")
+    trace.add_argument("output", nargs="?", default=None,
+                       help="Chrome trace JSON output path (export)")
+    trace.add_argument("--spans", default=None, metavar="FILE",
+                       help="raw span file (default: spans.jsonl next "
+                            "to the default store)")
+    trace.add_argument("--events", default=None, metavar="FILE",
+                       help="event log file (default: events.jsonl "
+                            "next to the default store)")
+    trace.add_argument("--level", default=None,
+                       choices=("debug", "info", "warning", "error"),
+                       help="minimum level to show (events)")
+    trace.add_argument("--run-id", default=None, dest="run_id",
+                       help="only this run's events")
+    trace.add_argument("--limit", type=int, default=0,
+                       help="show only the newest N events")
+    trace.set_defaults(func=cmd_trace)
 
     results = commands.add_parser(
         "results", help="list cached sweep results")

@@ -32,6 +32,7 @@ import random
 from dataclasses import dataclass
 from typing import Iterable, List, Mapping, Sequence, Tuple
 
+from repro.obs.trace import TRACER as _TRACER
 from repro.uarch.cache import Cache, CacheConfig, LineState
 
 #: Default fraction of lines kept inverted (perfect balancing needs 50%).
@@ -442,6 +443,10 @@ class LineDynamicScheme(InversionScheme):
         rate = induced / self.test_window
         decision = rate <= self.threshold
         self._decisions.append(decision)
+        # Rare discrete event (once per period): worth an instant marker
+        # so traces show *why* a run's inversion activity changed.
+        _TRACER.instant("scheme.decide", scheme=self.name,
+                        active=decision, induced_rate=rate)
         self.cache.clear_shadow()
         self._set_active(decision)
 
@@ -481,7 +486,19 @@ class ProtectedCache:
 
     def replay(self, addresses) -> int:
         """Replay a whole address stream; returns the number of hits."""
-        return self.scheme.replay(addresses)
+        # One span per protected replay call, delta-annotated with the
+        # victim-scan work (inversions) the scheme performed inside it.
+        _t = _TRACER.begin()
+        if _t is None:
+            return self.scheme.replay(addresses)
+        before = self.cache.stats.inversions
+        hits = self.scheme.replay(addresses)
+        stats = self.cache.stats
+        _TRACER.end(_t, "scheme.replay", scheme=self.scheme.name,
+                    cache=self.cache.config.name,
+                    inversions=stats.inversions - before,
+                    inverted_lines=self.cache.inverted_count())
+        return hits
 
     def translate(self, address: int) -> bool:
         """TLB-compatible alias of :meth:`access`."""

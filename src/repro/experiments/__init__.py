@@ -65,6 +65,7 @@ from repro.experiments.registry import (
     study_names,
 )
 from repro.experiments.runner import (
+    PointExecutionError,
     PointResult,
     SweepResult,
     SweepRunner,
@@ -97,6 +98,7 @@ __all__ = [
     "get_study",
     "register_study",
     "study_names",
+    "PointExecutionError",
     "PointResult",
     "SweepResult",
     "SweepRunner",

@@ -32,6 +32,7 @@ from typing import Any, Callable, Dict, List, Mapping, Tuple, Union
 
 from repro.core.cache_like import LineFixedScheme as _LineFixedScheme
 from repro.metrics import MetricSet
+from repro.obs.trace import TRACER as _TRACER
 from repro.workloads import suite_names
 
 # ----------------------------------------------------------------------
@@ -150,7 +151,8 @@ class StudyDefinition:
         dict (externally registered legacy study) is lifted into one
         with value-derived stat kinds.
         """
-        result = self.run(self.bind(params))
+        with _TRACER.span(f"study.{self.name}"):
+            result = self.run(self.bind(params))
         if not isinstance(result, MetricSet):
             result = MetricSet.from_flat(result)
         return result

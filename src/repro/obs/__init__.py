@@ -1,0 +1,82 @@
+"""Observability: execution traces, structured run logs, provenance.
+
+The third leg of the telemetry triad.  :mod:`repro.metrics` (PR 5)
+answers *what are the values*; this package answers *when and why*:
+
+- :mod:`repro.obs.trace` — a span-based tracer (``TRACER.span(...)``
+  context managers, an allocation-free token form for kernel hot
+  paths, a bounded in-memory ring) with Chrome trace-event JSON export
+  loadable in Perfetto / ``about://tracing``;
+- :mod:`repro.obs.log` — a structured JSONL event stream (run id, span
+  id, level, event, payload) with atomic ``O_APPEND`` appends and a
+  human console renderer;
+- :mod:`repro.obs.provenance` — run manifests recording the git
+  revision, package version, interpreter, host, spec hash, worker
+  count and per-point wall times of every sweep;
+- :mod:`repro.obs.progress` — live sweep progress (rate / ETA) in
+  line, JSON, or silent renderings.
+
+The tracer costs nothing measurable while disabled and the differential
+tests prove study results are bit-identical with tracing on or off —
+observability never changes what is observed (DESIGN.md §7).
+"""
+
+from repro.obs.log import (
+    EventLog,
+    LEVELS,
+    new_run_id,
+    read_events,
+    render_event,
+)
+from repro.obs.progress import SweepProgress
+from repro.obs.provenance import (
+    MANIFEST_NAME,
+    MANIFEST_SCHEMA,
+    build_manifest,
+    describe_manifest,
+    environment_fingerprint,
+    git_revision,
+    load_manifest,
+    manifest_path_for,
+    spec_hash,
+    write_manifest,
+)
+from repro.obs.trace import (
+    TRACE_ENV,
+    TRACER,
+    Tracer,
+    export_chrome_trace,
+    get_tracer,
+    load_spans,
+    save_spans,
+    to_chrome_trace,
+    traced,
+)
+
+__all__ = [
+    "EventLog",
+    "LEVELS",
+    "new_run_id",
+    "read_events",
+    "render_event",
+    "SweepProgress",
+    "MANIFEST_NAME",
+    "MANIFEST_SCHEMA",
+    "build_manifest",
+    "describe_manifest",
+    "environment_fingerprint",
+    "git_revision",
+    "load_manifest",
+    "manifest_path_for",
+    "spec_hash",
+    "write_manifest",
+    "TRACE_ENV",
+    "TRACER",
+    "Tracer",
+    "export_chrome_trace",
+    "get_tracer",
+    "load_spans",
+    "save_spans",
+    "to_chrome_trace",
+    "traced",
+]

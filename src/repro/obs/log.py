@@ -1,0 +1,175 @@
+"""Structured run logging: a JSONL event stream plus a console renderer.
+
+Every record is one self-contained JSON object::
+
+    {"ts": 1690000000.0, "run_id": "3f9c2a1b04de", "span_id": "1a2f.3",
+     "level": "info", "event": "point_done",
+     "payload": {"key": "ab12...", "cached": false, "elapsed": 0.42}}
+
+Records are appended with the PR 4 store discipline — one ``os.write``
+on an ``O_APPEND`` fd per record — so concurrent sweep workers (threads
+*or* processes) can log to the same file without ever interleaving
+partial lines; a threaded test asserts this.  ``span_id`` is filled
+from the calling thread's innermost open tracer span, which is how a
+log line links back to the execution trace.
+
+The console renderer (:func:`render_event`) is the human view of the
+same stream — what the CLI shows instead of ad-hoc ``print``\\ s — and
+``repro trace events`` replays a stored stream through it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+import uuid
+from typing import Any, Dict, IO, List, Optional
+
+from repro.obs.trace import TRACER
+
+#: Numeric severities (subset of stdlib logging, by design: the stream
+#: is an event log, not a debug firehose).
+LEVELS: Dict[str, int] = {"debug": 10, "info": 20, "warning": 30,
+                          "error": 40}
+
+
+def new_run_id() -> str:
+    """A short, collision-resistant id naming one sweep/run."""
+    return uuid.uuid4().hex[:12]
+
+
+def render_event(record: Dict[str, Any]) -> str:
+    """One human-readable line for a structured event record."""
+    ts = record.get("ts", 0.0)
+    clock = time.strftime("%H:%M:%S", time.localtime(ts))
+    millis = int((ts % 1.0) * 1000)
+    level = str(record.get("level", "info")).upper()
+    payload = record.get("payload") or {}
+    detail = " ".join(f"{key}={_compact(value)}"
+                      for key, value in payload.items())
+    line = (f"{clock}.{millis:03d} {level:<7} "
+            f"{record.get('event', '?')}")
+    return f"{line}  {detail}" if detail else line
+
+
+def _compact(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if isinstance(value, str):
+        return value if len(value) <= 40 else value[:37] + "..."
+    return json.dumps(value, sort_keys=True, default=str)
+
+
+class EventLog:
+    """Leveled, structured event sink: JSONL file and/or console.
+
+    Parameters
+    ----------
+    path:
+        JSONL destination; ``None`` keeps the log console-only (or
+        fully inert when ``console`` is also off).
+    run_id:
+        Stamped into every record so multi-run files stay separable.
+    level:
+        Minimum severity that is recorded.
+    console:
+        When true, every recorded event is also rendered human-readably
+        to ``stream`` (default ``sys.stderr``).
+    """
+
+    def __init__(self, path: Optional[str] = None,
+                 run_id: Optional[str] = None, level: str = "info",
+                 console: bool = False,
+                 stream: Optional[IO[str]] = None) -> None:
+        if level not in LEVELS:
+            raise ValueError(
+                f"unknown level {level!r}; choose from "
+                f"{', '.join(sorted(LEVELS, key=LEVELS.get))}"
+            )
+        self.path = path
+        self.run_id = run_id or new_run_id()
+        self.level = level
+        self.console = console
+        self.stream = stream
+        if path:
+            directory = os.path.dirname(path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def emit(self, event: str, level: str = "info",
+             **payload: Any) -> Optional[Dict[str, Any]]:
+        """Record one event; returns the record, or ``None`` if filtered."""
+        if LEVELS.get(level, 0) < LEVELS[self.level]:
+            return None
+        record = {
+            "ts": time.time(),
+            "run_id": self.run_id,
+            "span_id": TRACER.current_span_id(),
+            "level": level,
+            "event": event,
+            "payload": payload,
+        }
+        if self.path:
+            # One O_APPEND fd + one os.write per record (the PR 4 store
+            # pattern): concurrent writers append whole lines atomically.
+            data = (json.dumps(record, sort_keys=True, default=str)
+                    + "\n").encode("utf-8")
+            fd = os.open(self.path,
+                         os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+            try:
+                written = os.write(fd, data)
+            finally:
+                os.close(fd)
+            if written != len(data):
+                raise OSError(
+                    f"short write to {self.path}: {written} of "
+                    f"{len(data)} bytes"
+                )
+        if self.console:
+            print(render_event(record),
+                  file=self.stream or sys.stderr)
+        return record
+
+    # Severity shorthands ------------------------------------------------
+    def debug(self, event: str, **payload: Any):
+        return self.emit(event, level="debug", **payload)
+
+    def info(self, event: str, **payload: Any):
+        return self.emit(event, level="info", **payload)
+
+    def warning(self, event: str, **payload: Any):
+        return self.emit(event, level="warning", **payload)
+
+    def error(self, event: str, **payload: Any):
+        return self.emit(event, level="error", **payload)
+
+
+def read_events(path: str, level: Optional[str] = None,
+                run_id: Optional[str] = None) -> List[Dict[str, Any]]:
+    """Load an event-log file, optionally filtered by level / run id.
+
+    Corrupt lines are skipped (the same tolerance as the result store:
+    a crashed writer must not take the whole log down with it).
+    """
+    floor = LEVELS[level] if level else 0
+    events: List[Dict[str, Any]] = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if not isinstance(record, dict) or "event" not in record:
+                continue
+            if LEVELS.get(record.get("level", "info"), 0) < floor:
+                continue
+            if run_id and record.get("run_id") != run_id:
+                continue
+            events.append(record)
+    return events

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.metrics import MetricSet
+from repro.obs.trace import TRACER as _TRACER
 
 
 class LineState(enum.Enum):
@@ -219,6 +220,9 @@ class Cache:
         :func:`~repro.workloads.multiprog.multiprog_address_stream`), so
         the replay is bounded-memory.
         """
+        # Batch-granularity span: one record per replay *call*, never
+        # per access — the disabled cost is a single attribute test.
+        _t = _TRACER.begin()
         line_bytes, sets, ways = self._line_bytes, self._sets, self._ways
         all_tags, all_states = self._tags, self._state
         all_pos, all_shadow = self._lru_pos, self._shadow
@@ -256,6 +260,9 @@ class Cache:
         stats.hits += n_hits
         stats.misses += n_misses
         stats.shadow_hits += n_shadow
+        if _t is not None:
+            _TRACER.end(_t, "cache.replay", cache=self.config.name,
+                        accesses=n_hits + n_misses, misses=n_misses)
         return n_hits
 
     def probe(self, address: int) -> bool:

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.metrics import MetricSet
+from repro.obs.trace import TRACER as _TRACER
 from repro.uarch.cache import Cache, CacheConfig, CacheStats
 from repro.uarch.mob import MemoryOrderBuffer
 from repro.uarch.ports import AdderPolicy, AdderPool
@@ -254,6 +255,7 @@ class TraceDrivenCore:
         :func:`~repro.uarch.traceio.stream_trace` generators — and is
         consumed exactly once, so the whole replay is bounded-memory.
         """
+        _t = _TRACER.begin()
         self.reset()
         # Hoisted hot-loop state: the per-uop loop below runs for every
         # trace uop, so config fields, structures and bound methods are
@@ -409,6 +411,8 @@ class TraceDrivenCore:
                     allocs_this_cycle = 0
 
         cycles = max(last_complete, alloc_cycle, 1.0)
+        if _t is not None:
+            _TRACER.end(_t, "core.run", uops=index + 1, cycles=cycles)
         return CoreResult(
             uops=index + 1,
             cycles=cycles,

@@ -21,6 +21,7 @@ class TestParser:
             "run": ["run", "--config", "study.json"],
             "show-config": ["show-config", "--study", "caches"],
             "report": ["report", "--study", "caches"],
+            "trace": ["trace", "export", "out.trace.json"],
         }
         for argv in invocations.values():
             args = parser.parse_args(argv)
@@ -298,6 +299,135 @@ class TestCommands:
         assert main(["run", "--config", str(unconsumed),
                      "--no-store"]) == 2
         assert "does not consume" in capsys.readouterr().err
+
+    def test_sweep_study_option_alias(self, capsys, tmp_path):
+        store = str(tmp_path / "store.jsonl")
+        assert main(["sweep", "--study", "caches", "--grid",
+                     "ratio=0.4", "--suites", "office", "--length",
+                     "400", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "1 points" in out and "1 executed" in out
+
+        # Positional and --study conflict when they disagree...
+        assert main(["sweep", "caches", "--study", "regfile",
+                     "--no-store"]) == 2
+        assert "conflicts" in capsys.readouterr().err
+        # ...and omitting both is an error, not a crash.
+        assert main(["sweep", "--no-store"]) == 2
+        assert "pass a study" in capsys.readouterr().err
+
+    def test_sweep_quiet_suppresses_output(self, capsys, tmp_path):
+        store = str(tmp_path / "store.jsonl")
+        assert main(["sweep", "caches", "--grid", "ratio=0.4",
+                     "--suites", "office", "--length", "400",
+                     "--store", store, "--quiet"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == "" and captured.err == ""
+
+    def test_sweep_json_progress(self, capsys, tmp_path):
+        import json
+
+        store = str(tmp_path / "store.jsonl")
+        assert main(["sweep", "caches", "--grid", "ratio=0.4,0.6",
+                     "--suites", "office", "--length", "400",
+                     "--store", store, "--progress", "json"]) == 0
+        events = [json.loads(line) for line in
+                  capsys.readouterr().out.splitlines()]
+        kinds = [e["event"] for e in events]
+        assert kinds == ["point", "point", "summary"]
+        assert events[-1]["points"] == 2
+        assert events[-1]["executed"] == 2
+        assert events[-1]["run_id"]
+
+    def test_sweep_footer_names_slowest_point(self, capsys, tmp_path):
+        store = str(tmp_path / "store.jsonl")
+        assert main(["sweep", "caches", "--grid", "ratio=0.4,0.6",
+                     "--suites", "office", "--length", "400",
+                     "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "slowest point:" in out
+        # All-cached rerun: nothing executed, so no slowest line.
+        assert main(["sweep", "caches", "--grid", "ratio=0.4,0.6",
+                     "--suites", "office", "--length", "400",
+                     "--store", store]) == 0
+        assert "slowest point:" not in capsys.readouterr().out
+
+    def test_sweep_trace_writes_artefacts_and_exports(self, capsys,
+                                                      tmp_path):
+        """The acceptance-criteria pipeline: a traced sweep writes a
+        manifest + raw spans, and `repro trace export` turns the spans
+        into Chrome trace JSON."""
+        import json
+
+        from repro.obs.trace import TRACER
+
+        store = str(tmp_path / "store.jsonl")
+        try:
+            assert main(["sweep", "--study", "caches", "--trace",
+                         "--grid", "ratio=0.4,0.6", "--suites",
+                         "office", "--length", "400", "--store",
+                         store]) == 0
+        finally:
+            TRACER.disable()
+            TRACER.clear()
+        out = capsys.readouterr().out
+        assert "trace:" in out
+
+        manifest = json.load(open(tmp_path / "manifest.json"))
+        assert manifest["schema"] == "repro.manifest/1"
+        assert manifest["trace"] == str(tmp_path / "trace.json")
+        chrome = json.load(open(tmp_path / "trace.json"))
+        names = {e["name"] for e in chrome["traceEvents"]}
+        assert {"sweep.run", "sweep.execute", "study.caches",
+                "cache.replay", "scheme.replay"} <= names
+
+        exported = str(tmp_path / "out.trace.json")
+        assert main(["trace", "export", exported, "--spans",
+                     str(tmp_path / "spans.jsonl")]) == 0
+        assert "Perfetto" in capsys.readouterr().out
+        assert json.load(open(exported))["traceEvents"]
+
+        assert main(["trace", "events", "--events",
+                     str(tmp_path / "events.jsonl")]) == 0
+        out = capsys.readouterr().out
+        assert "run_start" in out and "point_done" in out
+
+    def test_trace_bad_inputs_exit_cleanly(self, capsys, tmp_path):
+        assert main(["trace", "export"]) == 2
+        assert "output path" in capsys.readouterr().err
+        assert main(["trace", "export", str(tmp_path / "o.json"),
+                     "--spans", str(tmp_path / "missing.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"schema": "other/1"}\n')
+        assert main(["trace", "export", str(tmp_path / "o.json"),
+                     "--spans", str(bad)]) == 2
+        assert "not a span file" in capsys.readouterr().err
+        assert main(["trace", "events", "--events",
+                     str(tmp_path / "missing.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_results_and_report_show_provenance_header(self, capsys,
+                                                       tmp_path):
+        store = str(tmp_path / "store.jsonl")
+        assert main(["sweep", "caches", "--grid", "ratio=0.4",
+                     "--suites", "office", "--length", "400",
+                     "--store", store, "--quiet"]) == 0
+        assert main(["results", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "provenance: run" in out
+        assert main(["report", "--study", "caches", "--store",
+                     store]) == 0
+        assert "provenance: run" in capsys.readouterr().out
+
+    def test_sweep_point_error_exits_cleanly_with_point_name(
+            self, capsys):
+        # A study raising mid-point must name the failing point's hash
+        # and params, not dump a traceback.
+        assert main(["sweep", "caches", "--grid", "suite=bogus",
+                     "--no-store"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "suite=bogus" in err
 
     def test_sweep_unknown_study(self, capsys):
         assert main(["sweep", "bogus", "--suites", "office",
