@@ -347,6 +347,91 @@ def test_perf_trace_overhead(benchmark):
     })
 
 
+def run_slots_bench():
+    """Uop allocation/access timing after the ``__slots__`` migration.
+
+    PR 7's HOT001 lint rule forced ``__slots__`` onto every hot-path
+    class; this bench pins down that the migration did not regress the
+    two things slots touch — instance construction and attribute reads —
+    by timing the slotted :class:`Uop` against a field-identical
+    ``__dict__``-based twin built on the fly.
+    """
+    from dataclasses import fields as dc_fields, make_dataclass
+
+    from repro.uarch.uop import Uop, UopClass
+
+    DictUop = make_dataclass(
+        "DictUop",
+        [(f.name, f.type, f) for f in dc_fields(Uop)],
+        # Same validation cost as the real Uop — without this the twin
+        # skips __post_init__ and the comparison is meaningless.
+        namespace={"__post_init__": Uop.__post_init__},
+        slots=False,
+    )
+    n = scaled(50_000, floor=5_000)
+
+    def build(cls):
+        return [
+            cls(seq=i, uop_class=UopClass.ALU, src1_value=i,
+                src2_value=i ^ 0xFF)
+            for i in range(n)
+        ]
+
+    def read(uops):
+        total = 0
+        for uop in uops:
+            total += uop.src1_value + uop.src2_value + uop.latency
+        return total
+
+    slotted = build(Uop)
+    dict_based = build(DictUop)
+    construct_slots_s = _best_of(3, build, Uop)
+    construct_dict_s = _best_of(3, build, DictUop)
+    read_slots_s = _best_of(3, read, slotted)
+    read_dict_s = _best_of(3, read, dict_based)
+    return {
+        "uops": n,
+        "construct_s": {"slots": construct_slots_s,
+                        "dict": construct_dict_s},
+        "read_s": {"slots": read_slots_s, "dict": read_dict_s},
+        "construct_ratio": construct_slots_s / construct_dict_s,
+        "read_ratio": read_slots_s / read_dict_s,
+    }
+
+
+def test_perf_slots(benchmark):
+    """Slotted Uop must not be slower than a __dict__ twin (+noise)."""
+    from repro.uarch.uop import Uop, UopClass
+
+    perf = benchmark.pedantic(run_slots_bench, rounds=1, iterations=1)
+
+    # Structural check is exact regardless of machine noise: the slots
+    # migration actually removed per-instance dicts.
+    probe = Uop(seq=0, uop_class=UopClass.NOP)
+    assert not hasattr(probe, "__dict__")
+
+    # Timing check: slots are expected at-or-below dict cost; 1.3x
+    # headroom absorbs CI jitter without letting a real regression
+    # (e.g. an accidental __getattr__ indirection) through.
+    if not SMOKE:
+        assert perf["construct_ratio"] <= 1.3, perf
+        assert perf["read_ratio"] <= 1.3, perf
+
+    rows = [
+        ["construct", f"{perf['construct_s']['slots'] * 1e3:.2f} ms",
+         f"{perf['construct_s']['dict'] * 1e3:.2f} ms",
+         f"{perf['construct_ratio']:.2f}x"],
+        ["read 3 attrs", f"{perf['read_s']['slots'] * 1e3:.2f} ms",
+         f"{perf['read_s']['dict'] * 1e3:.2f} ms",
+         f"{perf['read_ratio']:.2f}x"],
+    ]
+    text = format_table(
+        ["operation", "slots", "__dict__", "slots/dict"], rows,
+        title=f"Uop __slots__ micro-bench ({perf['uops']} uops)",
+    )
+    write_result("perf_slots.txt", text, data={**perf, "smoke": SMOKE})
+
+
 def test_perf_kernel(benchmark):
     timings, core_uops_per_s, first, second = benchmark.pedantic(
         run_kernel_perf, rounds=1, iterations=1

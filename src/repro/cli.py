@@ -730,6 +730,39 @@ def cmd_results(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """AST invariant checks.  Exit 0 clean / 1 violations / 2 error."""
+    from repro.lint import (
+        LintError,
+        default_rules,
+        render_json,
+        render_text,
+        run_lint,
+    )
+
+    if args.list_rules:
+        for rule in default_rules():
+            print(f"{rule.id}  [{rule.severity}]  {rule.description}")
+        return 0
+    paths = args.paths
+    if not paths:
+        # default target: the installed package sources
+        paths = [os.path.dirname(os.path.abspath(__file__))]
+    try:
+        report = run_lint(paths, rules=args.rule)
+    except LintError as exc:
+        print(f"lint error: {exc}", file=sys.stderr)
+        return 2
+    except (OSError, RecursionError) as exc:
+        print(f"lint internal error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(report, strict=args.strict))
+    else:
+        print(render_text(report, strict=args.strict))
+    return report.exit_code(strict=args.strict)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -937,6 +970,30 @@ def build_parser() -> argparse.ArgumentParser:
                         help="render an interval-telemetry JSON "
                              "artefact as per-interval bars instead")
     report.set_defaults(func=cmd_report)
+
+    lint = commands.add_parser(
+        "lint",
+        help="check the repo's reproducibility invariants "
+             "(AST static analysis)",
+        epilog="exit codes: 0 clean, 1 violations found, 2 internal "
+               "error.  Suppress one finding with a trailing "
+               "'# repro: noqa[RULE-ID]' comment.",
+    )
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files or directories to lint "
+                           "(default: the installed repro package)")
+    lint.add_argument("--rule", action="append", default=None,
+                      metavar="IDS",
+                      help="only run these rule ids (comma-separated, "
+                           "repeatable) — e.g. --rule DET001,RST001")
+    lint.add_argument("--format", default="text",
+                      choices=("text", "json"),
+                      help="output format (json is the CI artefact)")
+    lint.add_argument("--strict", action="store_true",
+                      help="warnings also fail the run (exit 1)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the ruleset and exit")
+    lint.set_defaults(func=cmd_lint)
     return parser
 
 

@@ -33,9 +33,24 @@ builds nothing and leaves the structure unprotected):
 from __future__ import annotations
 
 import inspect
-from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    TYPE_CHECKING,
+)
 
 from repro.config.specs import SpecError
+
+if TYPE_CHECKING:
+    from repro.core.memory_like import (
+        ISVRegisterFileProtector,
+        SchedulerProtector,
+    )
 
 
 class ComponentRegistry:
@@ -165,7 +180,7 @@ RF_PROTECTORS = ComponentRegistry(
 
 @RF_PROTECTORS.register("isv")
 def _build_isv(rf_name: str, width: int, sample_period: float,
-               entries_hint: int = 128):
+               entries_hint: int = 128) -> "ISVRegisterFileProtector":
     from repro.core.memory_like import ISVRegisterFileProtector
 
     return ISVRegisterFileProtector(rf_name, width, sample_period,
@@ -182,7 +197,8 @@ SCHEDULER_PROTECTORS = ComponentRegistry(
 
 
 @SCHEDULER_PROTECTORS.register("derived_policy")
-def _build_derived_policy(policy, sample_period: float):
+def _build_derived_policy(policy: Any,
+                          sample_period: float) -> "SchedulerProtector":
     """Apply a policy derived from profiling (``policy`` is supplied by
     the builder — :class:`~repro.core.penelope.PenelopeProcessor`
     profiles the first workload trace when none is given)."""
@@ -192,7 +208,8 @@ def _build_derived_policy(policy, sample_period: float):
 
 
 @SCHEDULER_PROTECTORS.register("paper_policy")
-def _build_paper_policy(policy, sample_period: float):
+def _build_paper_policy(policy: Any,
+                        sample_period: float) -> "SchedulerProtector":
     """Apply the published Section 4.5 classification, ignoring any
     derived ``policy``."""
     from repro.core.memory_like import (
@@ -210,7 +227,9 @@ ADDER_MECHANISMS = ComponentRegistry("adder mechanism")
 
 
 @ADDER_MECHANISMS.register("idle_injection")
-def _build_idle_injection(pair: Tuple[int, int] = (1, 8)):
+def _build_idle_injection(
+    pair: Tuple[int, int] = (1, 8),
+) -> Dict[str, Any]:
     """Settings for idle-input injection: the synthetic input pair to
     alternate during idle cycles (Section 4.3's best pair by default)."""
     pair = tuple(pair)

@@ -22,7 +22,20 @@ from __future__ import annotations
 import dataclasses
 import json
 from dataclasses import dataclass, field
-from typing import Any, ClassVar, Dict, List, Mapping, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    ClassVar,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    TYPE_CHECKING,
+)
+
+if TYPE_CHECKING:
+    from repro.uarch.core import CoreConfig
 
 from repro.uarch.cache import CacheConfig
 from repro.uarch.ports import AdderPolicy
@@ -278,7 +291,7 @@ class ProcessorSpec(Spec):
                 f"{', '.join(choices)}"
             )
 
-    def to_core_config(self):
+    def to_core_config(self) -> "CoreConfig":
         from repro.uarch.core import CoreConfig
 
         return CoreConfig(
@@ -331,7 +344,9 @@ class MechanismSpec(Spec):
         _set(self, "params", _freeze_value(dict(self.params)))
 
 
-def _default_mechanism(name: str, **params: Any):
+def _default_mechanism(
+    name: str, **params: Any
+) -> Callable[[], "MechanismSpec"]:
     return lambda: MechanismSpec(name, params)
 
 

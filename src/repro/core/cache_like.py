@@ -551,7 +551,7 @@ def performance_loss(
     return accesses_per_uop * delta * effective_penalty / base_cpi
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CacheStudyResult:
     """Average performance loss of one (config, scheme) pair."""
 
@@ -568,7 +568,7 @@ class CacheStudyResult:
         return LossTail(self.per_stream_loss)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LossTail:
     """Tail statistics over per-stream losses (Section 4.6's 5%/10%)."""
 

@@ -39,6 +39,9 @@ class PeriodicInversionScheme(InversionScheme):
     re-interpret contents on the fly (no misses, pure delay cost).
     """
 
+    __slots__ = ("period", "flush_on_flip", "_accesses",
+                 "_inverted_accesses", "inverted_mode", "flips")
+
     def __init__(self, period: int = 100_000,
                  flush_on_flip: bool = True) -> None:
         if period <= 0:
@@ -53,6 +56,19 @@ class PeriodicInversionScheme(InversionScheme):
 
     def attach(self, cache: Cache, rng: random.Random) -> None:
         super().attach(cache, rng)
+
+    def reset(self) -> None:
+        """Forget access counts and mode so a re-attach starts cold.
+
+        Without this, a :class:`~repro.core.cache_like.ProtectedCache`
+        ``reset()`` (e.g. between two ``replay()`` runs of one study
+        point) kept the scheme mid-period and possibly inverted —
+        the second run was not bit-identical to the first.
+        """
+        self._accesses = 0
+        self._inverted_accesses = 0
+        self.inverted_mode = False
+        self.flips = 0
 
     def access(self, address: int) -> bool:
         self._accesses += 1

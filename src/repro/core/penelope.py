@@ -272,6 +272,15 @@ class PenelopeProcessor:
     # ------------------------------------------------------------------
     # Telemetry (MetricSource)
     # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Forget the last evaluation (the MetricSource contract).
+
+        The processor itself is stateless across :meth:`evaluate`
+        calls — every run builds fresh cores and mechanisms — so the
+        only per-run state is the report backing :meth:`metrics`.
+        """
+        self.last_report = None
+
     def metrics(self) -> MetricSet:
         """Metric tree of the most recent :meth:`evaluate` outcome.
 

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import partial
-from typing import Any, Callable, Dict, List, Mapping, Tuple, Union
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.core.cache_like import LineFixedScheme as _LineFixedScheme
 from repro.metrics import MetricSet
@@ -129,7 +129,7 @@ class StudyDefinition:
     description: str
     defaults: Mapping[str, Any]
     run: Callable[[Mapping[str, Any]], Union[MetricSet, Dict[str, Any]]]
-    spec_paths: Mapping[str, str] = None
+    spec_paths: Optional[Mapping[str, str]] = None
 
     def __post_init__(self) -> None:
         if self.spec_paths is None:

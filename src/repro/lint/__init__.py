@@ -1,0 +1,70 @@
+"""``repro lint``: AST-based checks of the repo's reproducibility
+invariants (determinism, reset completeness, metrics contracts,
+hot-path shape, allocation-free disabled tracing).
+
+Programmatic use::
+
+    from repro.lint import run_lint
+
+    report = run_lint(["src/repro"])
+    assert report.exit_code(strict=True) == 0
+
+CLI: ``repro lint [PATHS] [--rule IDS] [--format json|text] [--strict]``.
+Suppression: ``# repro: noqa[RULE-ID]`` (see :mod:`repro.lint.engine`).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.lint.engine import (
+    Finding,
+    FileContext,
+    LintEngine,
+    LintError,
+    LintReport,
+    Rule,
+    select_rules,
+)
+from repro.lint.report import (
+    LINT_SCHEMA,
+    render_json,
+    render_text,
+    report_to_dict,
+)
+from repro.lint.rules import default_rules
+
+
+def run_lint(
+    paths: Sequence[Union[str, Path]],
+    rules: Optional[Sequence[str]] = None,
+    root: Optional[Union[str, Path]] = None,
+) -> LintReport:
+    """Lint ``paths`` (files or directories) with the default ruleset.
+
+    ``rules`` filters by id; entries may be comma-separated
+    (``["DET001,RST001"]``).  Raises :class:`LintError` on unknown
+    rules or unreadable paths — the CLI maps that to exit code 2,
+    distinct from exit 1 for violations.
+    """
+    engine = LintEngine(select_rules(default_rules(), rules))
+    return engine.run([Path(p) for p in paths],
+                      root=Path(root) if root is not None else None)
+
+
+__all__: List[str] = [
+    "Finding",
+    "FileContext",
+    "LintEngine",
+    "LintError",
+    "LintReport",
+    "LINT_SCHEMA",
+    "Rule",
+    "default_rules",
+    "render_json",
+    "render_text",
+    "report_to_dict",
+    "run_lint",
+    "select_rules",
+]

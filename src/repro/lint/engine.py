@@ -1,0 +1,264 @@
+"""Rule engine of ``repro lint``.
+
+The engine walks Python sources, parses each once, and hands a
+:class:`FileContext` to every registered :class:`Rule`.  Rules emit
+:class:`Finding`\\ s; the engine applies the suppression comments and
+aggregates everything into a :class:`LintReport` the CLI renders as
+text or JSON (see :mod:`repro.lint.report`).
+
+Suppression syntax (DESIGN.md §8):
+
+- ``# repro: noqa`` at the end of a line suppresses every rule on that
+  line;
+- ``# repro: noqa[RST001]`` (comma-separated ids allowed) suppresses
+  only the named rules on that line;
+- ``# repro: noqa-file[RULE-ID]`` anywhere in a file suppresses the
+  named rules for the whole file (bare ``noqa-file`` suppresses all —
+  reserved for vendored code, never used in-tree).
+
+Suppressed findings are kept (reported under ``counts.suppressed`` and
+``--format json``) so a creeping pile of waivers stays visible.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+#: Severity levels, in increasing order of badness.
+SEVERITIES = ("warning", "error")
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?P<file>-file)?"
+    r"(?:\[(?P<rules>[A-Za-z0-9_,\s-]+)\])?"
+)
+
+
+class LintError(Exception):
+    """Internal linter failure (bad path, unknown rule): CLI exit 2."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str  #: repo-relative posix path
+    line: int
+    col: int
+    message: str
+    severity: str = "error"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "severity": self.severity,
+        }
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule} [{self.severity}] {self.message}")
+
+
+class _Suppressions:
+    """Parsed ``# repro: noqa`` comments of one file."""
+
+    def __init__(self, source: str) -> None:
+        #: line number -> rule ids suppressed there (None = all rules)
+        self.lines: Dict[int, Optional[Set[str]]] = {}
+        #: file-wide suppressed ids (None entry = everything)
+        self.file_rules: Optional[Set[str]] = set()
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _NOQA_RE.search(text)
+            if match is None:
+                continue
+            rules = match.group("rules")
+            ids = (None if rules is None else
+                   {r.strip() for r in rules.split(",") if r.strip()})
+            if match.group("file"):
+                if ids is None:
+                    self.file_rules = None
+                elif self.file_rules is not None:
+                    self.file_rules |= ids
+            else:
+                if ids is None or self.lines.get(lineno, set()) is None:
+                    self.lines[lineno] = None
+                else:
+                    existing = self.lines.setdefault(lineno, set())
+                    assert existing is not None
+                    existing |= ids
+
+    def covers(self, finding: Finding) -> bool:
+        if self.file_rules is None:
+            return True
+        if finding.rule in self.file_rules:
+            return True
+        if finding.line in self.lines:
+            ids = self.lines[finding.line]
+            return ids is None or finding.rule in ids
+        return False
+
+
+class FileContext:
+    """One parsed source file handed to every applicable rule."""
+
+    def __init__(self, path: Path, root: Path) -> None:
+        self.path = path
+        self.root = root
+        try:
+            self.relpath = path.relative_to(root).as_posix()
+        except ValueError:
+            self.relpath = path.as_posix()
+        try:
+            self.source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise LintError(f"cannot read {path}: {exc}") from exc
+        self.suppressions = _Suppressions(self.source)
+        self.tree: Optional[ast.AST] = None
+        self.parse_error: Optional[SyntaxError] = None
+        try:
+            self.tree = ast.parse(self.source, filename=str(path))
+        except SyntaxError as exc:
+            self.parse_error = exc
+
+    def finding(self, rule: "Rule", node: ast.AST,
+                message: str) -> Finding:
+        return Finding(
+            rule=rule.id,
+            path=self.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            severity=rule.severity,
+        )
+
+
+class Rule:
+    """Base class: one invariant, identified by a stable string id."""
+
+    id: str = "RULE000"
+    severity: str = "error"
+    description: str = ""
+
+    def applies(self, ctx: FileContext) -> bool:
+        """Whether this rule wants to see the file at all."""
+        return True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one file (``ctx.tree`` is parsed)."""
+        return iter(())
+
+
+@dataclass
+class LintReport:
+    """Aggregated outcome of one engine run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    files: int = 0
+    rules: Sequence[Rule] = ()
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for f in self.findings if f.severity == "error")
+
+    @property
+    def warnings(self) -> int:
+        return sum(1 for f in self.findings if f.severity == "warning")
+
+    def exit_code(self, strict: bool = False) -> int:
+        """0 clean, 1 violations (internal errors raise LintError: 2)."""
+        if self.errors or (strict and self.findings):
+            return 1
+        return 0
+
+
+class LintEngine:
+    """Runs a ruleset over a set of files and/or directory trees."""
+
+    def __init__(self, rules: Sequence[Rule]) -> None:
+        self.rules = list(rules)
+        seen: Set[str] = set()
+        for rule in self.rules:
+            if rule.id in seen:
+                raise LintError(f"duplicate rule id {rule.id!r}")
+            seen.add(rule.id)
+
+    def run(self, paths: Sequence[Path],
+            root: Optional[Path] = None) -> LintReport:
+        files = sorted(set(self._expand(paths)))
+        if root is None:
+            root = _detect_root(files)
+        report = LintReport(rules=self.rules)
+        report.files = len(files)
+        for path in files:
+            ctx = FileContext(path, root)
+            if ctx.parse_error is not None:
+                err = ctx.parse_error
+                report.findings.append(Finding(
+                    rule="SYN001", path=ctx.relpath,
+                    line=err.lineno or 1, col=(err.offset or 0) + 1,
+                    message=f"syntax error: {err.msg}",
+                    severity="error",
+                ))
+                continue
+            for rule in self.rules:
+                if not rule.applies(ctx):
+                    continue
+                for finding in rule.check(ctx):
+                    if ctx.suppressions.covers(finding):
+                        report.suppressed.append(finding)
+                    else:
+                        report.findings.append(finding)
+        report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        report.suppressed.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return report
+
+    def _expand(self, paths: Sequence[Path]) -> Iterator[Path]:
+        if not paths:
+            raise LintError("no paths to lint")
+        for path in paths:
+            path = Path(path)
+            if path.is_dir():
+                yield from (p for p in path.rglob("*.py")
+                            if "__pycache__" not in p.parts)
+            elif path.is_file():
+                yield path
+            else:
+                raise LintError(f"no such file or directory: {path}")
+
+
+def _detect_root(files: Iterable[Path]) -> Path:
+    """Repo root: nearest ancestor with a pyproject.toml, else cwd."""
+    for path in files:
+        for ancestor in path.resolve().parents:
+            if (ancestor / "pyproject.toml").is_file():
+                return ancestor
+        break
+    return Path.cwd()
+
+
+def select_rules(all_rules: Sequence[Rule],
+                 ids: Optional[Sequence[str]]) -> List[Rule]:
+    """Subset a ruleset by id; comma-separated ids are flattened."""
+    if not ids:
+        return list(all_rules)
+    wanted: List[str] = []
+    for entry in ids:
+        wanted.extend(part.strip() for part in entry.split(",")
+                      if part.strip())
+    by_id = {rule.id: rule for rule in all_rules}
+    unknown = [w for w in wanted if w not in by_id]
+    if unknown:
+        raise LintError(
+            f"unknown rule id(s): {', '.join(unknown)}; "
+            f"available: {', '.join(sorted(by_id))}"
+        )
+    return [by_id[w] for w in dict.fromkeys(wanted)]

@@ -1,0 +1,66 @@
+"""Rendering of lint results: human text and a stable JSON schema.
+
+The JSON form is what CI uploads as an artefact; its schema is tagged
+(``repro.lint/1``) and covered by tests/test_lint.py so downstream
+tooling can rely on it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.lint.engine import LintReport
+
+#: Schema tag carried by JSON lint reports.
+LINT_SCHEMA = "repro.lint/1"
+
+
+def report_to_dict(report: LintReport, strict: bool = False) -> Dict[str, Any]:
+    """The JSON-ready view of a report (schema ``repro.lint/1``)."""
+    from repro import __version__
+
+    return {
+        "schema": LINT_SCHEMA,
+        "version": __version__,
+        "files": report.files,
+        "strict": strict,
+        "rules": [
+            {
+                "id": rule.id,
+                "severity": rule.severity,
+                "description": rule.description,
+            }
+            for rule in report.rules
+        ],
+        "findings": [f.to_dict() for f in report.findings],
+        "suppressed": [f.to_dict() for f in report.suppressed],
+        "counts": {
+            "errors": report.errors,
+            "warnings": report.warnings,
+            "suppressed": len(report.suppressed),
+        },
+        "exit_code": report.exit_code(strict=strict),
+    }
+
+
+def render_json(report: LintReport, strict: bool = False) -> str:
+    return json.dumps(report_to_dict(report, strict=strict), indent=2)
+
+
+def render_text(report: LintReport, strict: bool = False) -> str:
+    """One line per finding plus a summary tail line."""
+    lines = [finding.render() for finding in report.findings]
+    suppressed = f", {len(report.suppressed)} suppressed" \
+        if report.suppressed else ""
+    if report.findings:
+        lines.append(
+            f"{report.errors} error(s), {report.warnings} warning(s) "
+            f"in {report.files} file(s){suppressed}"
+        )
+    else:
+        lines.append(
+            f"ok: {report.files} file(s) clean "
+            f"({len(report.rules)} rules{suppressed})"
+        )
+    return "\n".join(lines)

@@ -47,7 +47,7 @@ class LineState(enum.Enum):
     INVERTED = "inverted"  # invalid + inverted repair contents
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CacheConfig:
     """Geometry of a cache.
 

@@ -45,7 +45,13 @@ class CoreHooks:
     Subclass and override the callbacks of interest; every callback is a
     no-op by default.  ``rf`` is the :class:`RegisterFile` involved,
     ``sched`` the :class:`Scheduler`.
+
+    The base class is slotted (the callbacks run per uop event);
+    subclasses declare their own ``__slots__`` — or none, at the cost
+    of an instance dict.
     """
+
+    __slots__ = ()
 
     def on_regfile_write(self, rf: RegisterFile, entry: int, value: int,
                          now: float) -> None:
@@ -67,6 +73,8 @@ class CoreHooks:
 class CompositeHooks(CoreHooks):
     """Fans every callback out to a list of hooks."""
 
+    __slots__ = ("hooks",)
+
     def __init__(self, hooks) -> None:
         self.hooks = list(hooks)
 
@@ -87,7 +95,7 @@ class CompositeHooks(CoreHooks):
             hook.on_scheduler_release(sched, slot, now)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CoreConfig:
     """Configuration of the trace-driven core (Core(tm)-like defaults)."""
 
@@ -122,7 +130,7 @@ class CoreConfig:
             raise ValueError("scheduler_entries must be positive")
 
 
-@dataclass
+@dataclass(slots=True)
 class CoreResult:
     """Everything a run produces."""
 
@@ -156,6 +164,21 @@ class TraceDrivenCore:
     >>> result.cycles > 0
     True
     """
+
+    __slots__ = (
+        "config",
+        "hooks",
+        "int_rf",
+        "fp_rf",
+        "scheduler",
+        "mob",
+        "adders",
+        "dl0",
+        "dtlb",
+        "_ready",
+        "_mapping",
+        "_issue_use",
+    )
 
     def __init__(
         self,

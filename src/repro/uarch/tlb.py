@@ -15,7 +15,7 @@ from repro.uarch.cache import Cache, CacheConfig
 DEFAULT_PAGE_BYTES = 4096
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TLBConfig:
     """Geometry of a TLB in entries rather than bytes.
 

@@ -8,7 +8,7 @@ of :class:`~repro.uarch.uop.Uop` records; the synthetic generators in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.uarch.uop import Uop, UopClass
@@ -83,7 +83,7 @@ def concatenate(traces: Sequence[Trace], name: Optional[str] = None) -> Trace:
     seq = 0
     for trace in traces:
         for uop in trace:
-            clone = Uop(**{**uop.__dict__, "seq": seq})
+            clone = replace(uop, seq=seq)
             merged.append(clone)
             seq += 1
     return merged

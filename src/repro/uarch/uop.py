@@ -36,7 +36,7 @@ class UopClass(enum.Enum):
         return self in (UopClass.LOAD, UopClass.STORE)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SchedulerLayout:
     """Bit widths of the scheduler fields, exactly as in Table 2."""
 
@@ -100,7 +100,7 @@ class SchedulerLayout:
 SCHEDULER_LAYOUT = SchedulerLayout()
 
 
-@dataclass
+@dataclass(slots=True)
 class Uop:
     """One micro-operation of a trace.
 

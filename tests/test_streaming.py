@@ -7,6 +7,8 @@ uops/addresses — and therefore bit-identical core metrics and cache
 counters — as their materialised twins.
 """
 
+import dataclasses
+
 import pytest
 
 from repro.config import SpecError, WorkloadSpec
@@ -25,7 +27,7 @@ CONFIG = CacheConfig(name="DL0-8K-4w", size_bytes=8 * 1024, ways=4)
 
 
 def uop_dicts(uops):
-    return [{**u.__dict__, "uop_class": u.uop_class} for u in uops]
+    return [dataclasses.asdict(u) for u in uops]
 
 
 def assert_same_core_result(lhs, rhs):

@@ -24,7 +24,7 @@ def assert_traces_equal(lhs, rhs):
     assert lhs.suite == rhs.suite
     assert len(lhs) == len(rhs)
     for original, restored in zip(lhs, rhs):
-        assert original.__dict__ == restored.__dict__
+        assert original == restored
 
 
 class TestRoundTrip:
@@ -36,7 +36,7 @@ class TestRoundTrip:
         assert loaded.suite == trace.suite
         assert len(loaded) == len(trace)
         for original, restored in zip(trace, loaded):
-            assert original.__dict__ == restored.__dict__
+            assert original == restored
 
     def test_gzip(self, trace, tmp_path):
         path = str(tmp_path / "t.jsonl.gz")
@@ -125,7 +125,7 @@ class TestStreaming:
         save_trace(trace, path, format=fmt)
         streamed = list(stream_trace(path, chunk=chunk))
         for original, restored in zip(trace, streamed):
-            assert original.__dict__ == restored.__dict__
+            assert original == restored
         assert len(streamed) == len(trace)
 
     def test_stream_trace_gzip(self, trace, tmp_path):
