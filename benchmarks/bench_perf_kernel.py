@@ -475,3 +475,112 @@ def test_perf_kernel(benchmark):
         ),
         "smoke": SMOKE,
     })
+
+
+STORE_RECORDS = scaled(10_000, floor=2_000)
+
+
+def run_store_perf():
+    from repro.experiments.spec import point_key
+    from repro.experiments.store import ResultStore, StoredResult
+    from repro.fabric.store import ShardedResultStore
+
+    n = STORE_RECORDS
+    studies = ["office", "kernels", "media", "mixed"]
+    with tempfile.TemporaryDirectory() as tmp:
+        flat_path = os.path.join(tmp, "store.jsonl")
+        flat = ResultStore(flat_path)
+        for i in range(n):
+            study = studies[i % len(studies)]
+            params = {"i": i, "ratio": (i % 10) / 10.0}
+            flat.put_record(StoredResult(
+                key=point_key(study, params),
+                study=study,
+                params=params,
+                metrics={"ipc": 1.0 + (i % 7) * 0.01},
+                elapsed=0.001,
+                created=float(i),
+            ))
+        probe = flat.records("office")[len(flat.records("office")) // 2].key
+        flat_bytes = os.path.getsize(flat_path)
+
+        # Flat store: every open is a full-file rescan.
+        def flat_open_get():
+            assert ResultStore(flat_path).get(probe) is not None
+
+        def flat_open_query():
+            return len(ResultStore(flat_path).records("office"))
+
+        flat_get = _best_of(3, flat_open_get)
+        flat_query = _best_of(3, flat_open_query)
+
+        sharded_dir = os.path.join(tmp, "sharded")
+        start = time.perf_counter()
+        sharded = ShardedResultStore(sharded_dir)
+        migrated = sharded.import_flat_store(flat_path)
+        migrate_s = time.perf_counter() - start
+        expect_office = len(sharded.records("office"))
+        sharded.close()
+
+        # Sharded store: open touches meta + index only; reads seek to
+        # exactly the rows the index names.
+        def sharded_open_get():
+            store = ShardedResultStore(sharded_dir)
+            try:
+                assert store.get(probe) is not None
+            finally:
+                store.close()
+
+        def sharded_open_query():
+            store = ShardedResultStore(sharded_dir)
+            try:
+                count = len(store.records("office"))
+            finally:
+                store.close()
+            assert count == expect_office
+            return count
+
+        sharded_get = _best_of(3, sharded_open_get)
+        sharded_query = _best_of(3, sharded_open_query)
+
+        # Correctness rides along: migration preserved every record.
+        assert expect_office == len(ResultStore(flat_path).records("office"))
+    return {
+        "records": n,
+        "migrated": migrated,
+        "flat_bytes": flat_bytes,
+        "migrate_s": migrate_s,
+        "open_get_s": {"flat": flat_get, "sharded": sharded_get},
+        "open_query_s": {"flat": flat_query, "sharded": sharded_query},
+    }
+
+
+def test_perf_store(benchmark):
+    """Indexed lookups must beat re-parsing the whole flat store."""
+    perf = benchmark.pedantic(run_store_perf, rounds=1, iterations=1)
+
+    assert perf["migrated"] == perf["records"], perf
+    # Timing ordering is only stable with enough records to measure; the
+    # margin is structural (O(1) open vs O(records) rescan), so it holds
+    # at the CI floor too.
+    if perf["records"] >= 2000:
+        assert perf["open_get_s"]["sharded"] < perf["open_get_s"]["flat"], perf
+        assert (perf["open_query_s"]["sharded"]
+                < perf["open_query_s"]["flat"]), perf
+
+    rows = [
+        ["flat rescan", f"{perf['open_get_s']['flat'] * 1e3:.2f}",
+         f"{perf['open_query_s']['flat'] * 1e3:.2f}"],
+        ["sharded indexed", f"{perf['open_get_s']['sharded'] * 1e3:.2f}",
+         f"{perf['open_query_s']['sharded'] * 1e3:.2f}"],
+    ]
+    text = format_table(
+        ["store", "open+get ms", "open+query ms"], rows,
+        title=(f"result-store perf ({perf['records']:,} records, "
+               f"{perf['flat_bytes']:,} flat bytes)"),
+    )
+    text += (f"\nmigration to sharded: {perf['migrate_s'] * 1e3:.1f} ms; "
+             f"indexed lookup "
+             f"{perf['open_get_s']['flat'] / max(perf['open_get_s']['sharded'], 1e-9):.1f}x"
+             f" faster than flat rescan")
+    write_result("perf_store.txt", text, data={**perf, "smoke": SMOKE})

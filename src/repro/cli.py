@@ -205,10 +205,20 @@ def cmd_list_suites(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fabric_store_dir(path: Optional[str]) -> str:
+    """Sharded-store directory: ``--store`` or the default fabric dir."""
+    from repro.experiments import default_store_path
+
+    if path:
+        return path
+    return os.path.join(os.path.dirname(default_store_path()), "fabric")
+
+
 def _run_sweep_and_report(spec, *, workers, store, verbose, group_by,
                           metrics_arg, agg, intro, title,
                           progress_mode=None, quiet=False,
-                          trace=False) -> int:
+                          trace=False, fabric=False, resume=None,
+                          batch_size=None, lease_ttl=5.0) -> int:
     """Execute an expanded sweep and print plan, progress, summary,
     and footer — shared by ``sweep`` and ``run``."""
     from repro.experiments import (
@@ -237,14 +247,27 @@ def _run_sweep_and_report(spec, *, workers, store, verbose, group_by,
         TRACER.enable()
     human = not quiet and mode != "json"
 
-    runner = SweepRunner(store=store, workers=workers,
-                         progress=progress.update,
-                         trace_path=trace_json if trace else None)
+    if fabric:
+        from repro.fabric.runner import FabricRunner
+
+        # CLI fabric sweeps always spawn worker processes: the whole
+        # point is that any single worker can die without taking the
+        # run's progress with it.
+        runner = FabricRunner(
+            store, workers=workers, batch_size=batch_size,
+            lease_ttl=lease_ttl, progress=progress.update,
+            spawn_workers=True,
+        )
+    else:
+        runner = SweepRunner(store=store, workers=workers,
+                             progress=progress.update,
+                             trace_path=trace_json if trace else None)
     if human:
         print(f"{intro}: {spec.size} points over axes "
               f"{', '.join(spec.axis_names())} ({workers} worker"
               f"{'s' if workers != 1 else ''})")
-    outcome = runner.run(spec)
+    outcome = (runner.resume(resume) if resume is not None
+               else runner.run(spec))
 
     if trace:
         from repro.obs.trace import (
@@ -295,7 +318,7 @@ def _run_sweep_and_report(spec, *, workers, store, verbose, group_by,
     print(f"{len(outcome)} points in {outcome.wall_time:.2f}s: "
           f"{outcome.cache_hits} cache hits, "
           f"{outcome.executed} executed"
-          + ("" if store else " (store disabled)"))
+          + ("" if store is not None else " (store disabled)"))
     slowest = outcome.slowest()
     if slowest is not None:
         print(f"slowest point: {slowest.point.describe()} "
@@ -311,6 +334,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         get_study,
         parse_grid_option,
     )
+    from repro.fabric.runner import FabricIncompleteError
+
+    if args.resume is not None:
+        return _cmd_sweep_resume(args)
 
     # Positional and --study are two spellings of the same thing
     # (`repro sweep caches` / `repro sweep --study caches`).
@@ -380,7 +407,17 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 f"available: {', '.join(sorted(known_params))}"
             )
 
-        store = None if args.no_store else ResultStore(args.store)
+        if args.fabric:
+            if args.no_store:
+                raise ValueError(
+                    "--fabric needs the result store (it IS the "
+                    "store); drop --no-store"
+                )
+            from repro.fabric.store import ShardedResultStore
+
+            store = ShardedResultStore(_fabric_store_dir(args.store))
+        else:
+            store = None if args.no_store else ResultStore(args.store)
         return _run_sweep_and_report(
             spec,
             workers=args.workers,
@@ -394,11 +431,66 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             progress_mode=args.progress,
             quiet=args.quiet,
             trace=args.trace,
+            fabric=args.fabric,
+            batch_size=args.batch_size,
+            lease_ttl=args.lease_ttl,
         )
+    except FabricIncompleteError as exc:
+        # The run stopped with durable state behind it — distinct exit
+        # code so scripts can branch straight to `sweep --resume`.
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
     except (ValueError, KeyError, PointExecutionError) as exc:
         # Bad grid syntax, unknown scheme value, unknown suite passed
         # via --grid suite=..., workers < 1, a study raising inside a
         # point (PointExecutionError names the point and params), ...
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+
+def _cmd_sweep_resume(args: argparse.Namespace) -> int:
+    """``repro sweep --resume RUN_ID``: re-drive an interrupted run."""
+    from repro.experiments import PointExecutionError, get_study
+    from repro.fabric.journal import load_journal
+    from repro.fabric.runner import FabricIncompleteError
+    from repro.fabric.store import ShardedResultStore
+
+    directory = _fabric_store_dir(args.store)
+    try:
+        journal = load_journal(directory, args.resume)
+        study = get_study(journal.study)
+        spec = journal.spec()
+        if args.study is not None and args.study != journal.study:
+            raise ValueError(
+                f"--resume {args.resume} was planned for study "
+                f"{journal.study!r}, not {args.study!r}"
+            )
+        store = ShardedResultStore(directory)
+        return _run_sweep_and_report(
+            spec,
+            workers=args.workers,
+            store=store,
+            verbose=args.verbose,
+            group_by=spec.axis_names(),
+            metrics_arg=args.metrics,
+            agg=args.agg,
+            intro=f"resume {journal.study!r} run {args.resume}",
+            title=f"sweep {journal.study}: {study.description} "
+                  f"(resumed {args.resume})",
+            progress_mode=args.progress,
+            quiet=args.quiet,
+            trace=args.trace,
+            fabric=True,
+            resume=args.resume,
+            batch_size=args.batch_size,
+            lease_ttl=args.lease_ttl,
+        )
+    except FabricIncompleteError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    except (FileNotFoundError, ValueError, KeyError,
+            PointExecutionError) as exc:
         message = exc.args[0] if exc.args else exc
         print(f"error: {message}", file=sys.stderr)
         return 2
@@ -643,12 +735,12 @@ def cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments import (
         ExperimentPoint,
         PointResult,
-        ResultStore,
         format_summary,
         metric_names,
     )
+    from repro.fabric import open_result_store
 
-    store = ResultStore(args.store)
+    store = open_result_store(args.store)
     records = store.records(study=args.study)
     if not records:
         print(f"no stored results for study {args.study!r} in "
@@ -703,9 +795,9 @@ def _varying_params(results) -> List[str]:
 
 
 def cmd_results(args: argparse.Namespace) -> int:
-    from repro.experiments import ResultStore
+    from repro.fabric import open_result_store
 
-    store = ResultStore(args.store)
+    store = open_result_store(args.store)
     records = store.records(study=args.study)
     if args.limit > 0:
         records = records[-args.limit:]
@@ -761,6 +853,86 @@ def cmd_lint(args: argparse.Namespace) -> int:
     else:
         print(render_text(report, strict=args.strict))
     return report.exit_code(strict=args.strict)
+
+
+def cmd_store_info(args: argparse.Namespace) -> int:
+    """Describe a sharded store: counts, layout, known runs."""
+    from repro.fabric import ShardedResultStore, list_runs
+
+    directory = _fabric_store_dir(args.store)
+    try:
+        store = ShardedResultStore(directory)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        stats = store.stats()
+        print(f"directory: {stats['directory']}")
+        print(f"schema: {stats['schema']}")
+        print(f"records: {stats['records']}")
+        print(f"shards: {stats['shards']}")
+        print(f"bytes: {stats['bytes']}")
+        if stats["skipped_lines"]:
+            print(f"skipped lines: {stats['skipped_lines']}")
+        runs = list_runs(directory)
+        print(f"runs: {len(runs)}")
+        for run_id in runs:
+            print(f"  {run_id}")
+    finally:
+        store.close()
+    return 0
+
+
+def cmd_store_compact(args: argparse.Namespace) -> int:
+    """Rewrite shards keeping only the live record per key."""
+    from repro.fabric import ShardedResultStore
+
+    directory = _fabric_store_dir(args.store)
+    try:
+        store = ShardedResultStore(directory)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        stats = store.compact()
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        store.close()
+    print(f"compacted {directory}")
+    print(f"records: {stats.records}")
+    print(f"bytes: {stats.bytes_before} -> {stats.bytes_after} "
+          f"(reclaimed {stats.reclaimed})")
+    print(f"dropped lines: {stats.dropped_lines}")
+    return 0
+
+
+def cmd_store_migrate(args: argparse.Namespace) -> int:
+    """Import a flat JSONL store into a sharded indexed store."""
+    from repro.fabric import ShardedResultStore
+
+    if not os.path.exists(args.source):
+        print(f"error: flat store {args.source!r} does not exist",
+              file=sys.stderr)
+        return 2
+    try:
+        store = ShardedResultStore(args.dest, shards=args.shards)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        imported = store.import_flat_store(args.source)
+        total = len(store)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        store.close()
+    print(f"migrated {imported} records from {args.source} "
+          f"to {store.directory}")
+    print(f"records: {total}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -846,6 +1018,24 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("mean", "min", "max"))
     sweep.add_argument("--verbose", action="store_true",
                        help="print one progress line per point")
+    sweep.add_argument(
+        "--fabric", action="store_true",
+        help="run through the resumable sweep fabric: sharded indexed "
+             "store, journaled plan, lease-based worker processes "
+             "(--store names the store DIRECTORY; default: "
+             "benchmarks/results/fabric)")
+    sweep.add_argument(
+        "--resume", default=None, metavar="RUN_ID",
+        help="resume an interrupted fabric run from its journal "
+             "(re-executes only unfinished batches; implies --fabric)")
+    sweep.add_argument("--batch-size", type=int, default=None,
+                       metavar="N",
+                       help="points per fabric lease batch (default: "
+                            "~4 batches per worker)")
+    sweep.add_argument("--lease-ttl", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="fabric lease TTL before an unheartbeated "
+                            "batch can be stolen (default: 5)")
     _add_observability_arguments(sweep)
     sweep.set_defaults(func=cmd_sweep)
 
@@ -994,6 +1184,41 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--list-rules", action="store_true",
                       help="print the ruleset and exit")
     lint.set_defaults(func=cmd_lint)
+
+    store_cmd = commands.add_parser(
+        "store",
+        help="inspect and maintain result stores (flat or sharded)",
+        epilog="examples: repro store info; repro store migrate "
+               "benchmarks/results/store.jsonl benchmarks/results/fabric; "
+               "repro store compact",
+    )
+    store_actions = store_cmd.add_subparsers(dest="store_action",
+                                             required=True)
+    store_info = store_actions.add_parser(
+        "info", help="record counts, shard layout, known runs")
+    store_info.add_argument("--store", default=None, metavar="DIR",
+                            help="sharded store directory (default: "
+                                 "benchmarks/results/fabric)")
+    store_info.set_defaults(func=cmd_store_info)
+    store_compact = store_actions.add_parser(
+        "compact",
+        help="rewrite shards keeping only the live record per key")
+    store_compact.add_argument("--store", default=None, metavar="DIR",
+                               help="sharded store directory (default: "
+                                    "benchmarks/results/fabric)")
+    store_compact.set_defaults(func=cmd_store_compact)
+    store_migrate = store_actions.add_parser(
+        "migrate",
+        help="import a flat JSONL store into a sharded indexed store")
+    store_migrate.add_argument("source", metavar="FLAT_JSONL",
+                               help="flat store file to import")
+    store_migrate.add_argument("dest", metavar="DIR",
+                               help="sharded store directory to create "
+                                    "or extend")
+    store_migrate.add_argument("--shards", type=int, default=16,
+                               help="shard count for a new store "
+                                    "(default: 16)")
+    store_migrate.set_defaults(func=cmd_store_migrate)
     return parser
 
 

@@ -75,6 +75,34 @@ class PointExecutionError(RuntimeError):
                 (self.args[0], self.key, self.study, self.params))
 
 
+def bind_spec_points(spec: SweepSpec) -> List[ExperimentPoint]:
+    """Expand a spec into fully-bound, cache-keyed points.
+
+    Binds the study's defaults into every point before hashing: the
+    cache key must cover the *full* parameterisation of the
+    computation, or a later change to a registry default would silently
+    serve stale results.  Binding also unifies the keys of explicit and
+    defaulted spellings of the same point.  Shared by the in-process
+    :class:`SweepRunner` and the fabric scheduler so both plan the
+    identical key set for the same spec.
+    """
+    study = get_study(spec.study)
+    # Every study parametrizes exclusively through its defaults, so a
+    # key outside them is a typo that would otherwise produce a grid of
+    # byte-identical points presented as a real sweep.
+    unknown = (set(spec.base) | set(spec.grid)) - set(study.defaults)
+    if unknown:
+        raise ValueError(
+            f"unknown parameter(s) for study {spec.study!r}: "
+            f"{', '.join(sorted(unknown))}; known: "
+            f"{', '.join(sorted(study.defaults))}"
+        )
+    return [
+        ExperimentPoint.from_dict(spec.study, study.bind(p.as_dict()))
+        for p in spec.iter_points()
+    ]
+
+
 def execute_point(
     point: ExperimentPoint,
 ) -> Tuple[str, MetricSet, float]:
@@ -288,27 +316,7 @@ class SweepRunner:
         started = time.perf_counter()
         started_wall = time.time()
         _t = TRACER.begin()
-        # Bind the study's defaults into every point before hashing:
-        # the cache key must cover the *full* parameterisation of the
-        # computation, or a later change to a registry default would
-        # silently serve stale results.  Binding also unifies the keys
-        # of explicit and defaulted spellings of the same point.
-        study = get_study(spec.study)
-        # Every study parametrizes exclusively through its defaults, so
-        # a key outside them is a typo that would otherwise produce a
-        # grid of byte-identical points presented as a real sweep.
-        unknown = (set(spec.base) | set(spec.grid)) - set(study.defaults)
-        if unknown:
-            raise ValueError(
-                f"unknown parameter(s) for study {spec.study!r}: "
-                f"{', '.join(sorted(unknown))}; known: "
-                f"{', '.join(sorted(study.defaults))}"
-            )
-        points = [
-            ExperimentPoint.from_dict(spec.study,
-                                      study.bind(p.as_dict()))
-            for p in spec.iter_points()
-        ]
+        points = bind_spec_points(spec)
         if self.log is not None:
             self.log.info("run_start", study=spec.study,
                           points=len(points), workers=self.workers,
@@ -390,13 +398,7 @@ class SweepRunner:
                         started_wall: float) -> Optional[str]:
         if self.store is None or not self.manifest:
             return None
-        spec_payload = {
-            "study": spec.study,
-            "base": dict(spec.base),
-            "grid": {axis: list(values)
-                     for axis, values in spec.grid.items()},
-            "size": spec.size,
-        }
+        spec_payload = spec.payload()
         manifest = build_manifest(
             run_id=self.run_id,
             spec_payload=spec_payload,
@@ -492,25 +494,47 @@ class SweepRunner:
         point_by_index = dict(pending)
         ctx = self._obs_context()
         submitted = time.time()
+        last_heartbeat = submitted
         tasks = [(index, point, ctx) for index, point in pending]
-        for index, metric_set, elapsed, exec_started, spans in (
-            pool.imap_unordered(_execute_indexed, tasks)
-        ):
-            if spans:
-                TRACER.extend(spans)
-            # Queue wait = worker pickup time minus submission time:
-            # the span every "why is my sweep slow" question needs
-            # (workers starved vs points genuinely expensive).
-            TRACER.record_span(
-                "sweep.queue_wait", submitted,
-                max(0.0, exec_started - submitted),
-                key=point_by_index[index].key,
-            )
-            yield index, PointResult(
-                point=point_by_index[index],
-                metrics=metric_set.flatten(),
-                cached=False, elapsed=elapsed, metric_set=metric_set,
-            )
+        try:
+            for index, metric_set, elapsed, exec_started, spans in (
+                pool.imap_unordered(_execute_indexed, tasks)
+            ):
+                last_heartbeat = time.time()
+                if spans:
+                    TRACER.extend(spans)
+                # Queue wait = worker pickup time minus submission time:
+                # the span every "why is my sweep slow" question needs
+                # (workers starved vs points genuinely expensive).
+                TRACER.record_span(
+                    "sweep.queue_wait", submitted,
+                    max(0.0, exec_started - submitted),
+                    key=point_by_index[index].key,
+                )
+                yield index, PointResult(
+                    point=point_by_index[index],
+                    metrics=metric_set.flatten(),
+                    cached=False, elapsed=elapsed, metric_set=metric_set,
+                )
+        except PointExecutionError:
+            # A study raising is the *point* failing, not the pool: the
+            # worker is alive and already logged point_error.
+            raise
+        except Exception as exc:
+            # Anything else escaping imap_unordered means the pool
+            # machinery itself broke — typically a worker hard-killed
+            # (SIGKILL/OOM) mid-task.  Leave a structured trace naming
+            # the run and the last time a worker produced anything, so
+            # the fabric (or an operator) knows what to retry, then
+            # re-raise: results so far are already in the store.
+            if self.log is not None:
+                self.log.error(
+                    "worker_lost", run_id=self.run_id,
+                    error=f"{type(exc).__name__}: {exc}",
+                    last_heartbeat=last_heartbeat,
+                    workers=self.workers,
+                )
+            raise
 
 
 def run_sweep(

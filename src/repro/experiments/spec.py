@@ -131,6 +131,31 @@ class SweepSpec:
         """Cartesian-product expansion in deterministic axis order."""
         return list(self.iter_points())
 
+    def payload(self) -> Dict[str, Any]:
+        """JSON-ready identity of this spec.
+
+        This exact shape is what gets hashed into manifests and fabric
+        journals (:func:`repro.obs.provenance.spec_hash`), so a resumed
+        run can prove it is replaying the same sweep.
+        """
+        return {
+            "study": self.study,
+            "base": {k: _normalise(v) for k, v in self.base.items()},
+            "grid": {axis: [_normalise(v) for v in values]
+                     for axis, values in self.grid.items()},
+            "size": self.size,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "SweepSpec":
+        """Inverse of :meth:`payload` (modulo the derived ``size``)."""
+        return cls(
+            study=payload["study"],
+            base=dict(payload.get("base", {})),
+            grid={axis: list(values)
+                  for axis, values in payload.get("grid", {}).items()},
+        )
+
 
 def coerce_scalar(text: str) -> Any:
     """Parse a CLI grid value: int, then float, then bool, else str."""

@@ -9,8 +9,15 @@ Appending is the only write operation and each record is written as a
 single ``os.write`` on an ``O_APPEND`` fd (atomic on POSIX), so
 concurrent sweep workers at worst duplicate a record — never interleave
 partial lines; :meth:`ResultStore.load` keeps the *last* record per
-key, making reruns idempotent.  The default location is
-``benchmarks/results/store.jsonl`` next to the benchmark artefacts.
+key, making reruns idempotent.  A crash mid-append can tear at most the
+*final* line, so ``load`` skips (and warns about) a torn final line but
+treats invalid bytes anywhere else as real corruption and raises.  The
+default location is ``benchmarks/results/store.jsonl`` next to the
+benchmark artefacts.
+
+For sweeps past a few thousand points, the sharded indexed store in
+:mod:`repro.fabric.store` reads the same record format without the
+O(whole-file) rescan; ``repro store migrate`` converts between the two.
 """
 
 from __future__ import annotations
@@ -18,10 +25,12 @@ from __future__ import annotations
 import json
 import os
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Mapping, Optional
 
 from repro.experiments.spec import ExperimentPoint, canonical_json
+from repro.fabric.io import append_record
 
 
 def default_store_path() -> str:
@@ -62,6 +71,15 @@ class StoredResult:
     @classmethod
     def from_json(cls, line: str) -> "StoredResult":
         payload = json.loads(line)
+        if not isinstance(payload, dict):
+            raise ValueError(
+                f"store record is {type(payload).__name__}, not an object"
+            )
+        missing = [f for f in ("key", "study") if f not in payload]
+        if missing:
+            raise ValueError(
+                "store record missing field(s): " + ", ".join(missing)
+            )
         return cls(
             key=payload["key"],
             study=payload["study"],
@@ -78,26 +96,50 @@ class ResultStore:
     def __init__(self, path: Optional[str] = None) -> None:
         self.path = path or default_store_path()
         self._index: Dict[str, StoredResult] = {}
+        self.duplicates = 0
         self.load()
 
     # -- reading --------------------------------------------------------
     def load(self) -> None:
-        """(Re)build the index from disk; corrupt lines are skipped."""
+        """(Re)build the index from disk.
+
+        A torn *final* line (crash mid-``os.write``) is skipped with a
+        warning — that is the only corruption the append discipline can
+        produce.  An invalid line anywhere else means the file was
+        damaged by something other than a crash, so raise a clean
+        ``ValueError`` naming the file and line rather than silently
+        dropping records.  Duplicate keys keep the last record
+        (idempotent reruns); the count is exposed as ``duplicates``.
+        """
         self._index.clear()
+        self.duplicates = 0
         if not os.path.exists(self.path):
             return
         with open(self.path) as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
+            lines = handle.readlines()
+        last = len(lines)
+        for lineno, raw in enumerate(lines, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                record = StoredResult.from_json(line)
+            except ValueError as exc:
+                if lineno == last:
+                    warnings.warn(
+                        f"{self.path}: skipping torn final line "
+                        f"{lineno} ({exc})",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
                     continue
-                try:
-                    record = StoredResult.from_json(line)
-                except (ValueError, KeyError, TypeError):
-                    # ValueError: not JSON; KeyError: missing field;
-                    # TypeError: JSON but not an object (e.g. `null`).
-                    continue
-                self._index[record.key] = record
+                raise ValueError(
+                    f"{self.path}:{lineno}: corrupt store record "
+                    f"({exc})"
+                ) from exc
+            if record.key in self._index:
+                self.duplicates += 1
+            self._index[record.key] = record
 
     def get(self, key: str) -> Optional[StoredResult]:
         return self._index.get(key)
@@ -133,32 +175,24 @@ class ResultStore:
             metrics=dict(metrics),
             elapsed=elapsed,
         )
+        self.put_record(record)
+        return record
+
+    def put_record(self, record: StoredResult) -> None:
+        """Append a pre-built record (used by migration/compaction)."""
         os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
         # One O_APPEND fd + one os.write per record: concurrent sweep
         # workers append whole lines atomically.  Buffered `open(..,
         # "a").write` could flush a record as several syscalls, letting
         # parallel writers interleave partial lines and corrupt both.
         payload = (record.to_json() + "\n").encode("utf-8")
-        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND,
-                     0o644)
-        try:
-            written = os.write(fd, payload)
-        finally:
-            os.close(fd)
-        if written != len(payload):
-            # A short write (disk full, signal) would leave a partial
-            # line; retrying could interleave with another worker, so
-            # fail loudly instead (load() skips the corrupt line).
-            raise OSError(
-                f"short write to {self.path}: {written} of "
-                f"{len(payload)} bytes"
-            )
+        append_record(self.path, payload)
         self._index[record.key] = record
-        return record
 
     def clear(self) -> None:
         """Drop every record (index and file)."""
         self._index.clear()
+        self.duplicates = 0
         if os.path.exists(self.path):
             os.remove(self.path)
 

@@ -1,0 +1,174 @@
+"""SQLite location index over the sharded JSONL store.
+
+The shards are the source of truth; this index is a *rebuildable cache*
+mapping ``key -> (shard, offset, length, study, params_digest,
+created)`` so single-key lookups and ``records(study=...)`` queries are
+a SELECT plus one ``seek`` per hit instead of an O(whole-store) rescan.
+
+Because every indexed byte can be re-derived from the shards, the index
+runs with ``synchronous=OFF`` (no fsync per put) and is deleted and
+rebuilt from scratch if SQLite reports it damaged.  A per-shard byte
+watermark records how far each shard has been indexed; ``refresh``
+reads only the appended tail beyond the watermark, so reopening a
+million-record store costs a handful of ``fstat`` calls, not a parse of
+every record.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple
+
+__all__ = ["IndexRow", "StoreIndex"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS records (
+    key TEXT PRIMARY KEY,
+    shard INTEGER NOT NULL,
+    offset INTEGER NOT NULL,
+    length INTEGER NOT NULL,
+    study TEXT NOT NULL,
+    params_digest TEXT NOT NULL,
+    created REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS records_study ON records (study, created);
+CREATE TABLE IF NOT EXISTS shard_watermarks (
+    shard INTEGER PRIMARY KEY,
+    indexed_bytes INTEGER NOT NULL
+);
+"""
+
+
+class IndexRow(NamedTuple):
+    """One record's location: shard file + byte range + query columns."""
+
+    key: str
+    shard: int
+    offset: int
+    length: int
+    study: str
+    params_digest: str
+    created: float
+
+
+class StoreIndex:
+    """Thin typed wrapper around the index database."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._conn = self._open()
+
+    def _open(self) -> sqlite3.Connection:
+        os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+        try:
+            conn = sqlite3.connect(self.path, timeout=10.0)
+            conn.executescript(_SCHEMA)
+            conn.execute("PRAGMA synchronous=OFF")
+            conn.commit()
+            return conn
+        except sqlite3.DatabaseError:
+            # Damaged cache (e.g. crash while SQLite held its journal):
+            # drop it and rebuild from the shards, which own the truth.
+            try:
+                os.remove(self.path)
+            except OSError:
+                pass
+            conn = sqlite3.connect(self.path, timeout=10.0)
+            conn.executescript(_SCHEMA)
+            conn.execute("PRAGMA synchronous=OFF")
+            conn.commit()
+            return conn
+
+    # -- writes ---------------------------------------------------------
+    def upsert(
+        self,
+        rows: List[Tuple[str, int, int, int, str, str, float]],
+        watermarks: Optional[Dict[int, int]] = None,
+    ) -> None:
+        """Insert/replace location rows; optionally advance watermarks.
+
+        Watermarks only ever move forward (``MAX``), so out-of-order
+        updates from concurrent appenders can never un-index a tail.
+        """
+        with self._conn:
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO records VALUES (?,?,?,?,?,?,?)",
+                rows,
+            )
+            for shard, size in (watermarks or {}).items():
+                self._conn.execute(
+                    "INSERT INTO shard_watermarks VALUES (?, ?) "
+                    "ON CONFLICT(shard) DO UPDATE SET indexed_bytes = "
+                    "MAX(indexed_bytes, excluded.indexed_bytes)",
+                    (shard, size),
+                )
+
+    def reset(self) -> None:
+        """Drop every row and watermark (full reindex follows)."""
+        with self._conn:
+            self._conn.execute("DELETE FROM records")
+            self._conn.execute("DELETE FROM shard_watermarks")
+
+    def drop_shard(self, shard: int) -> None:
+        """Forget one shard's rows and watermark (compaction rewrite)."""
+        with self._conn:
+            self._conn.execute(
+                "DELETE FROM records WHERE shard = ?", (shard,)
+            )
+            self._conn.execute(
+                "DELETE FROM shard_watermarks WHERE shard = ?", (shard,)
+            )
+
+    # -- reads ----------------------------------------------------------
+    def watermarks(self) -> Dict[int, int]:
+        rows = self._conn.execute(
+            "SELECT shard, indexed_bytes FROM shard_watermarks"
+        ).fetchall()
+        return {int(shard): int(size) for shard, size in rows}
+
+    def lookup(self, key: str) -> Optional[IndexRow]:
+        row = self._conn.execute(
+            "SELECT * FROM records WHERE key = ?", (key,)
+        ).fetchone()
+        return IndexRow(*row) if row is not None else None
+
+    def by_study(self, study: Optional[str] = None) -> Iterator[IndexRow]:
+        """Location rows ordered by creation time (stable: then by key)."""
+        if study is None:
+            cursor = self._conn.execute(
+                "SELECT * FROM records ORDER BY created, key"
+            )
+        else:
+            cursor = self._conn.execute(
+                "SELECT * FROM records WHERE study = ? "
+                "ORDER BY created, key",
+                (study,),
+            )
+        for row in cursor:
+            yield IndexRow(*row)
+
+    def by_shard(self, shard: int) -> List[IndexRow]:
+        rows = self._conn.execute(
+            "SELECT * FROM records WHERE shard = ? ORDER BY created, key",
+            (shard,),
+        ).fetchall()
+        return [IndexRow(*row) for row in rows]
+
+    def keys(self) -> List[str]:
+        rows = self._conn.execute("SELECT key FROM records").fetchall()
+        return [row[0] for row in rows]
+
+    def count(self, study: Optional[str] = None) -> int:
+        if study is None:
+            row = self._conn.execute(
+                "SELECT COUNT(*) FROM records"
+            ).fetchone()
+        else:
+            row = self._conn.execute(
+                "SELECT COUNT(*) FROM records WHERE study = ?", (study,)
+            ).fetchone()
+        return int(row[0])
+
+    def close(self) -> None:
+        self._conn.close()

@@ -1,0 +1,86 @@
+"""Crash-safe file primitives shared by the sweep fabric.
+
+Every durable byte the fabric writes goes through one of two idioms:
+
+* :func:`append_record` — a single ``os.write`` on an ``O_APPEND`` fd.
+  POSIX guarantees the kernel serialises such writes, so concurrent
+  workers appending to the same shard never interleave partial lines,
+  and a crash can tear at most the final line of a file (which loaders
+  detect and skip).
+* :func:`atomic_write_text` / :func:`atomic_write_json` — write to a
+  temp file in the same directory, then ``os.replace`` over the target.
+  Readers see either the old journal or the new one, never a torn mix.
+
+Lint rule FAB001 flags any other write path inside ``repro/fabric/``
+and ``experiments/store.py``; this module is the sanctioned exception.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Tuple
+
+__all__ = ["append_record", "atomic_write_text", "atomic_write_json"]
+
+
+def append_record(path: str, data: bytes) -> Tuple[int, int]:
+    """Append ``data`` to ``path`` with a single atomic ``os.write``.
+
+    Returns ``(offset, end)`` — the byte range the record occupies.
+    With ``O_APPEND`` the kernel picks the offset at write time, so the
+    range is exact even when other processes append concurrently: the
+    file position after the write is ``end`` and our bytes are the
+    ``len(data)`` immediately before it.
+
+    Raises ``OSError`` on a short write (the caller's record would be
+    torn; better to fail loudly than index a half-line).
+    """
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        written = os.write(fd, data)
+        if written != len(data):
+            raise OSError(
+                f"short write to {path}: {written} of {len(data)} bytes"
+            )
+        end = os.lseek(fd, 0, os.SEEK_CUR)
+    finally:
+        os.close(fd)
+    return end - len(data), end
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Replace ``path`` with ``text`` via temp-file + ``os.replace``.
+
+    The temp file lives in the target directory so the rename never
+    crosses a filesystem boundary (which would lose atomicity).
+    """
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    tmp = os.path.join(
+        directory, f".{os.path.basename(path)}.{os.getpid()}.tmp"
+    )
+    fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+    try:
+        data = text.encode("utf-8")
+        written = os.write(fd, data)
+        if written != len(data):
+            raise OSError(
+                f"short write to {tmp}: {written} of {len(data)} bytes"
+            )
+    finally:
+        os.close(fd)
+    try:
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path: str, payload: Any) -> None:
+    """Atomically serialise ``payload`` as pretty JSON at ``path``."""
+    text = json.dumps(payload, indent=2, sort_keys=True, default=str)
+    atomic_write_text(path, text + "\n")

@@ -17,6 +17,10 @@ REG001      every ``spec_paths`` binding in the experiments registry
             resolves against the spec classes in ``config/specs.py``
 OBS001      the tracer's disabled paths allocate nothing before the
             enabled-check (calls / comprehensions / f-strings)
+FAB001      fabric store/journal modules write only through the
+            crash-safe helpers in ``fabric/io.py`` (single-``os.write``
+            O_APPEND append or temp+rename), never via ``open(.., "a")``
+            / buffered ``.write()``
 ==========  ============================================================
 """
 
@@ -669,6 +673,82 @@ class TraceAllocationRule(Rule):
 
 
 # ----------------------------------------------------------------------
+# FAB001 — fabric durability: writes go through the sanctioned helpers
+# ----------------------------------------------------------------------
+#: The fabric's crash-safety argument rests on exactly two write shapes
+#: (DESIGN.md §9): a single ``os.write`` on an ``O_APPEND`` fd (a crash
+#: tears at most the final line) and temp+``os.replace`` (readers see
+#: old or new, never partial).  Both live in ``fabric/io.py``; any other
+#: write in these files silently re-introduces torn-record windows.
+FAB_EXEMPT_FILES = ("fabric/io.py",)
+
+_WRITE_MODE_CHARS = frozenset("awx+")
+
+
+def _open_mode(call: ast.Call) -> Optional[str]:
+    """The constant mode string of an ``open`` call, if statically known."""
+    mode_node: Optional[ast.expr] = None
+    if len(call.args) >= 2:
+        mode_node = call.args[1]
+    for kw in call.keywords:
+        if kw.arg == "mode":
+            mode_node = kw.value
+    if mode_node is None:
+        return "r"
+    if (isinstance(mode_node, ast.Constant)
+            and isinstance(mode_node.value, str)):
+        return mode_node.value
+    return None
+
+
+class FabricWriteRule(Rule):
+    id = "FAB001"
+    severity = "error"
+    description = (
+        "fabric store/journal modules must write through the fabric.io "
+        "helpers (append_record / atomic_write_*): no open() in a "
+        "write mode, no .write()/.writelines() calls"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        if ctx.relpath.endswith(FAB_EXEMPT_FILES):
+            return False
+        parts = ctx.relpath.split("/")
+        return ("fabric" in parts
+                or ctx.relpath.endswith("experiments/store.py"))
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        assert ctx.tree is not None
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "open":
+                mode = _open_mode(node)
+                if mode is None:
+                    yield ctx.finding(
+                        self, node,
+                        "open() with a non-constant mode cannot be "
+                        "verified crash-safe; use the fabric.io helpers",
+                    )
+                elif _WRITE_MODE_CHARS & set(mode):
+                    yield ctx.finding(
+                        self, node,
+                        f"open(.., {mode!r}) bypasses the crash-safe "
+                        f"write discipline; use fabric.io.append_record "
+                        f"or atomic_write_*",
+                    )
+            elif (isinstance(func, ast.Attribute)
+                  and func.attr in ("write", "writelines")):
+                yield ctx.finding(
+                    self, node,
+                    f".{func.attr}() in a fabric module: buffered or "
+                    f"multi-syscall writes can tear records mid-crash; "
+                    f"use fabric.io.append_record or atomic_write_*",
+                )
+
+
+# ----------------------------------------------------------------------
 # Default ruleset
 # ----------------------------------------------------------------------
 def default_rules() -> List[Rule]:
@@ -680,4 +760,5 @@ def default_rules() -> List[Rule]:
         ResetRule(),
         SpecPathsRule(),
         TraceAllocationRule(),
+        FabricWriteRule(),
     ]

@@ -89,17 +89,21 @@ def build_manifest(
     store_path: Optional[str] = None,
     trace_path: Optional[str] = None,
     events_path: Optional[str] = None,
+    fabric: Optional[Mapping[str, Any]] = None,
+    resumed_from: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Assemble the manifest dict for one finished sweep.
 
     ``points`` entries carry ``key`` / ``params`` / ``cached`` /
     ``elapsed`` per design point (the per-point wall-time record the
-    acceptance criteria ask for).
+    acceptance criteria ask for).  Fabric runs additionally record the
+    batch plan (``fabric``: journal path, batch/lease parameters, steal
+    and retry counts) and, on resume, the prior attempt's run id.
     """
     executed = [p for p in points if not p.get("cached")]
     slowest = max(executed, key=lambda p: p.get("elapsed", 0.0),
                   default=None)
-    return {
+    manifest = {
         "schema": MANIFEST_SCHEMA,
         "run_id": run_id,
         "study": spec_payload.get("study"),
@@ -125,6 +129,11 @@ def build_manifest(
         "trace": trace_path,
         "events": events_path,
     }
+    if fabric is not None:
+        manifest["fabric"] = dict(fabric)
+    if resumed_from is not None:
+        manifest["resumed_from"] = resumed_from
+    return manifest
 
 
 def write_manifest(path: str, manifest: Mapping[str, Any]) -> None:
@@ -159,7 +168,7 @@ def describe_manifest(manifest: Mapping[str, Any]) -> str:
     else:
         revision = revision[:12]
     totals = manifest.get("totals") or {}
-    return (
+    line = (
         f"provenance: run {manifest.get('run_id', '?')} "
         f"@ {revision} v{(manifest.get('environment') or {}).get('package_version', '?')} "
         f"| {manifest.get('study', '?')} "
@@ -169,6 +178,9 @@ def describe_manifest(manifest: Mapping[str, Any]) -> str:
         f"on {manifest.get('workers', '?')} worker(s) "
         f"at {manifest.get('finished_iso', '?')}"
     )
+    if manifest.get("resumed_from"):
+        line += f" [resumed from {manifest['resumed_from']}]"
+    return line
 
 
 def _iso(epoch: float) -> str:

@@ -109,15 +109,58 @@ class TestStore:
             "mean_loss": 0.02
         }
 
-    def test_skips_corrupt_lines(self, tmp_path):
+    def test_torn_final_line_warns_and_is_skipped(self, tmp_path):
         path = str(tmp_path / "store.jsonl")
         store = ResultStore(path)
         point = ExperimentPoint.from_dict("caches", {"ratio": 0.5})
         store.put(point, {"mean_loss": 0.01})
-        with open(path, "a") as handle:
-            # Not JSON; JSON non-objects; object missing "key".
-            handle.write("not json\nnull\n123\n{}\n")
-        assert len(ResultStore(path)) == 1
+        # Simulate a crash mid-append: the final line is truncated
+        # partway through the record.
+        with open(path, "r+") as handle:
+            full = handle.read()
+            extra = store.get(point.key).to_json()
+            handle.write(extra[: len(extra) // 2])
+        with pytest.warns(RuntimeWarning, match="torn final line"):
+            reloaded = ResultStore(path)
+        assert len(reloaded) == 1
+        assert reloaded.get(point.key).metrics == {"mean_loss": 0.01}
+        assert full in open(path).read()
+
+    def test_mid_file_corruption_raises_with_location(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        store = ResultStore(path)
+        a = ExperimentPoint.from_dict("caches", {"ratio": 0.4})
+        b = ExperimentPoint.from_dict("caches", {"ratio": 0.6})
+        store.put(a, {"mean_loss": 0.01})
+        store.put(b, {"mean_loss": 0.02})
+        lines = open(path).read().splitlines()
+        lines[0] = "not json"
+        with open(path, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match=r"store\.jsonl:1: corrupt"):
+            ResultStore(path)
+
+    @pytest.mark.parametrize("line,match", [
+        ("null", "not an object"),
+        ("123", "not an object"),
+        ("{}", "missing field"),
+        ('{"key": "k"}', "missing field.*study"),
+    ])
+    def test_from_json_rejects_malformed_records(self, line, match):
+        from repro.experiments.store import StoredResult
+
+        with pytest.raises(ValueError, match=match):
+            StoredResult.from_json(line)
+
+    def test_duplicates_counted_last_wins(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        store = ResultStore(path)
+        point = ExperimentPoint.from_dict("caches", {"ratio": 0.5})
+        store.put(point, {"mean_loss": 0.01})
+        store.put(point, {"mean_loss": 0.02})
+        reloaded = ResultStore(path)
+        assert reloaded.duplicates == 1
+        assert reloaded.get(point.key).metrics == {"mean_loss": 0.02}
 
     def test_concurrent_appends_never_interleave(self, tmp_path):
         """put() is one O_APPEND write per record: hammering one store
@@ -255,6 +298,34 @@ class TestRunner:
         seen = []
         run_sweep(tiny_spec(), progress=seen.append)
         assert len(seen) == 4
+
+    def test_pool_breakage_emits_worker_lost(self, tmp_path):
+        """A non-point exception escaping the pool (worker SIGKILLed,
+        OOMed) leaves a structured worker_lost event naming the run and
+        the last heartbeat, then re-raises."""
+        from repro.obs.log import EventLog
+
+        class BrokenPool:
+            def imap_unordered(self, func, tasks):
+                raise RuntimeError("worker died unexpectedly")
+                yield  # pragma: no cover
+
+        log_path = str(tmp_path / "events.jsonl")
+        runner = SweepRunner(
+            store=None, workers=2, run_id="testrun",
+            log=EventLog(path=log_path, run_id="testrun"),
+        )
+        pending = list(enumerate(tiny_spec().expand()))
+        with pytest.raises(RuntimeError, match="worker died"):
+            list(runner._execute_pool(BrokenPool(), pending))
+        events = [json.loads(line) for line in open(log_path)]
+        lost = [e for e in events if e["event"] == "worker_lost"]
+        assert len(lost) == 1
+        payload = lost[0]["payload"]
+        assert lost[0]["run_id"] == "testrun"
+        assert "RuntimeError" in payload["error"]
+        assert payload["workers"] == 2
+        assert payload["last_heartbeat"] > 0
 
 
 class TestRegistry:

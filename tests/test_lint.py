@@ -436,6 +436,78 @@ class TestObs001:
 
 
 # ----------------------------------------------------------------------
+# FAB001 — fabric writes go through the crash-safe helpers
+# ----------------------------------------------------------------------
+class TestFab001:
+    def test_flags_append_mode_open_in_fabric(self, tmp_path):
+        report = lint_snippet(
+            tmp_path, "fabric/journal.py",
+            "def save(path, line):\n"
+            "    with open(path, 'a') as handle:\n"
+            "        handle.write(line)\n",
+            rules=["FAB001"],
+        )
+        assert rule_ids(report) == ["FAB001", "FAB001"]
+        assert "append_record" in report.findings[0].message
+
+    def test_flags_write_mode_keyword_and_writelines(self, tmp_path):
+        report = lint_snippet(
+            tmp_path, "experiments/store.py",
+            "def dump(path, lines):\n"
+            "    handle = open(path, mode='w')\n"
+            "    handle.writelines(lines)\n",
+            rules=["FAB001"],
+        )
+        assert rule_ids(report) == ["FAB001", "FAB001"]
+
+    def test_flags_dynamic_mode(self, tmp_path):
+        report = lint_snippet(
+            tmp_path, "fabric/store.py",
+            "def touch(path, mode):\n"
+            "    return open(path, mode)\n",
+            rules=["FAB001"],
+        )
+        assert rule_ids(report) == ["FAB001"]
+        assert "non-constant mode" in report.findings[0].message
+
+    def test_clean_reads_and_helper_calls(self, tmp_path):
+        report = lint_snippet(
+            tmp_path, "fabric/store.py",
+            "from repro.fabric.io import append_record, atomic_write_text\n"
+            "def load(path):\n"
+            "    with open(path, 'rb') as handle:\n"
+            "        return handle.read()\n"
+            "def put(path, payload, text):\n"
+            "    append_record(path, payload)\n"
+            "    atomic_write_text(path, text)\n",
+            rules=["FAB001"],
+        )
+        assert report.findings == []
+
+    def test_exempt_io_module_and_out_of_scope_files(self, tmp_path):
+        source = (
+            "import os\n"
+            "def raw(fd, data):\n"
+            "    os.write(fd, data)\n"
+            "    open('x', 'w')\n"
+        )
+        assert lint_snippet(tmp_path, "fabric/io.py", source,
+                            rules=["FAB001"]).findings == []
+        assert lint_snippet(tmp_path, "obs/log.py", source,
+                            rules=["FAB001"]).findings == []
+
+    def test_suppressed(self, tmp_path):
+        report = lint_snippet(
+            tmp_path, "fabric/lease.py",
+            "def note(path, text):\n"
+            "    open(path, 'w').write(text)  # repro: noqa[FAB001]\n",
+            rules=["FAB001"],
+        )
+        assert report.findings == []
+        assert [f.rule for f in report.suppressed] == ["FAB001", "FAB001"]
+
+
+# ----------------------------------------------------------------------
 # Engine behaviour
 # ----------------------------------------------------------------------
 class TestEngine:
@@ -505,7 +577,8 @@ class TestJsonOutput:
         assert payload["strict"] is True
         assert payload["exit_code"] == 1
         assert {r["id"] for r in payload["rules"]} == {
-            "DET001", "DET002", "HOT001", "RST001", "REG001", "OBS001"
+            "DET001", "DET002", "HOT001", "RST001", "REG001", "OBS001",
+            "FAB001",
         }
         for rule in payload["rules"]:
             assert rule["severity"] in ("error", "warning")
@@ -556,7 +629,7 @@ class TestLintCli:
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule_id in ("DET001", "DET002", "HOT001", "RST001",
-                        "REG001", "OBS001"):
+                        "REG001", "OBS001", "FAB001"):
             assert rule_id in out
 
     def test_strict_fails_on_warning(self, tmp_path, capsys):
