@@ -5,8 +5,10 @@ sweep shows the bias of a representative imbalanced field (flags) as K
 varies, with the profiling-derived K landing nearest 50% balance.
 """
 
-import numpy as np
+
 import pytest
+
+np = pytest.importorskip("numpy")
 
 from repro.core.memory_like import SchedulerProtector
 from repro.core.policy import BitDirective, Technique

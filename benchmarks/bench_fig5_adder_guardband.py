@@ -7,7 +7,9 @@ baseline core runs; utilisation levels are the paper's three scenarios
 plus the measured one.
 """
 
-import numpy as np
+import pytest
+
+np = pytest.importorskip("numpy")
 
 from repro.analysis import format_series
 from repro.core.combinational import adder_guardband_study

@@ -4,7 +4,9 @@ Paper: worst bit bias falls from 89.9% (INT) / 84.2% (FP) to 48.5% /
 45.5% with inverted-sampled-value updates at register release.
 """
 
-import numpy as np
+import pytest
+
+np = pytest.importorskip("numpy")
 
 from repro.analysis import format_table, merge_bias_arrays, worst_imbalance
 from repro.core.memory_like import ISVRegisterFileProtector

@@ -4,7 +4,9 @@ Paper: worst-case bias falls from ~100% to 63.2%; K values are derived
 from profiling traces (100 of 531) and applied to the rest.
 """
 
-import numpy as np
+import pytest
+
+np = pytest.importorskip("numpy")
 
 from repro.analysis import format_table, merge_bias_arrays
 from repro.core.memory_like import (

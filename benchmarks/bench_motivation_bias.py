@@ -5,7 +5,9 @@ file per-bit bias band (65-90%) and the near-100% scheduler fields, all
 measured on the scaled Table 1 workload.
 """
 
-import numpy as np
+import pytest
+
+np = pytest.importorskip("numpy")
 
 from repro.analysis import bias_band, format_table, merge_bias_arrays
 

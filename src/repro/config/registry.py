@@ -125,6 +125,8 @@ class ComponentRegistry:
             return None
         try:
             return factory(*context, **params)
+        except SpecError:
+            raise
         except (TypeError, ValueError) as exc:
             prefix = f"{where}: " if where else ""
             raise SpecError(
@@ -144,6 +146,26 @@ class ComponentRegistry:
                 f"{prefix}unknown {self.kind} {name!r}; registered: "
                 f"{', '.join(self.names() + ['none'])}"
             ) from None
+
+
+# ----------------------------------------------------------------------
+# Kernel backends — the simulation engines behind the cache-like models
+# ----------------------------------------------------------------------
+KERNEL_BACKENDS = ComponentRegistry("kernel backend")
+
+
+def _register_kernel_backends() -> None:
+    from repro.uarch.backends import backend_names, get_backend
+
+    for backend_name in backend_names():
+        # Bind the name per-iteration; ``get_backend`` resolves lazily so
+        # registering "vectorized" never imports numpy.
+        KERNEL_BACKENDS.register(backend_name)(
+            lambda _name=backend_name: get_backend(_name)
+        )
+
+
+_register_kernel_backends()
 
 
 # ----------------------------------------------------------------------
@@ -263,6 +285,7 @@ __all__ = [
     "ADDER_MECHANISMS",
     "CACHE_SCHEMES",
     "ComponentRegistry",
+    "KERNEL_BACKENDS",
     "RF_PROTECTORS",
     "SCHEDULER_PROTECTORS",
     "registry_for_structure",

@@ -17,7 +17,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from repro.circuits.ladner_fischer import (
     LadnerFischerAdder,
@@ -40,14 +39,13 @@ from repro.core.metric import (
 )
 from repro.metrics import MetricSet
 from repro.nbti.guardband import DEFAULT_GUARDBAND_MODEL, GuardbandModel
-from repro.uarch.cache import Cache
+from repro.uarch.backends import get_backend
 from repro.uarch.core import (
     CompositeHooks,
     CoreConfig,
     CoreResult,
     TraceDrivenCore,
 )
-from repro.uarch.tlb import TLB
 from repro.uarch.trace import Trace
 from repro.uarch.uop import FP_WIDTH, INT_WIDTH
 
@@ -183,15 +181,16 @@ class PenelopeProcessor:
             self._scheduler_factory(effective_policy),
         ]
         hooks = CompositeHooks([m for m in mechanisms if m is not None])
+        engine = get_backend(self.config.backend)
         dl0_scheme = self._cache_factory("dl0")
         dl0 = (
-            ProtectedCache(Cache(self.config.dl0), dl0_scheme,
+            ProtectedCache(engine.make_cache(self.config.dl0), dl0_scheme,
                            seed=self.seed)
             if dl0_scheme is not None else None
         )
         dtlb_scheme = self._cache_factory("dtlb")
         dtlb = (
-            ProtectedCache(TLB(self.config.dtlb), dtlb_scheme,
+            ProtectedCache(engine.make_tlb(self.config.dtlb), dtlb_scheme,
                            seed=self.seed + 1)
             if dtlb_scheme is not None else None
         )
@@ -214,9 +213,11 @@ class PenelopeProcessor:
         vectors = [v for res in baseline for v in res.adder_samples]
         if not vectors:
             vectors = [(0, 0, 0)]
-        utilization = float(np.mean([
-            np.mean(res.adder_utilization) for res in baseline
-        ]))
+        per_trace = [
+            sum(res.adder_utilization) / max(1, len(res.adder_utilization))
+            for res in baseline
+        ]
+        utilization = sum(per_trace) / max(1, len(per_trace))
         injector = IdleInputInjector(adder, self.injector_pair,
                                      self.guardband_model)
         adder_report = injector.age(vectors[:256], min(1.0, utilization),
@@ -332,26 +333,30 @@ def _cost_metrics(ms: MetricSet, cost) -> MetricSet:
 
 def _merged_rf_bias(results: Sequence[CoreResult], fp: bool) -> float:
     """Worst per-bit bias aggregated over traces (cycle-weighted)."""
-    total = None
+    total: Optional[List[float]] = None
     weight = 0.0
     for res in results:
         stats = res.fp_rf if fp else res.int_rf
-        contribution = stats.bias_to_zero * res.cycles
-        total = contribution if total is None else total + contribution
+        contribution = [float(b) * res.cycles for b in stats.bias_to_zero]
+        total = (contribution if total is None
+                 else [t + c for t, c in zip(total, contribution)])
         weight += res.cycles
-    bias = total / weight
-    return float(np.max(np.maximum(bias, 1.0 - bias)))
+    bias = [t / weight for t in total]
+    return float(max(max(b, 1.0 - b) for b in bias))
 
 
 def _merged_scheduler_bias(results: Sequence[CoreResult]) -> float:
-    total = None
+    total: Optional[List[float]] = None
     weight = 0.0
     for res in results:
-        contribution = res.scheduler.flattened_bias() * res.cycles
-        total = contribution if total is None else total + contribution
+        contribution = [
+            float(b) * res.cycles for b in res.scheduler.flattened_bias()
+        ]
+        total = (contribution if total is None
+                 else [t + c for t, c in zip(total, contribution)])
         weight += res.cycles
-    bias = total / weight
-    return float(np.max(np.maximum(bias, 1.0 - bias)))
+    bias = [t / weight for t in total]
+    return float(max(max(b, 1.0 - b) for b in bias))
 
 
 def _combined_cpi(

@@ -77,7 +77,8 @@ def cached_address_stream(suite: str, length: int, seed: int):
 
 
 def cached_rf_biases(
-    suite: str, length: int, seed: int, sample_period: float
+    suite: str, length: int, seed: int, sample_period: float,
+    backend: str = "reference",
 ) -> Tuple[float, float, float]:
     """(baseline bias, ISV bias, free fraction) of the INT register file.
 
@@ -86,15 +87,17 @@ def cached_rf_biases(
     """
     from repro.core.memory_like import ISVRegisterFileProtector
     from repro.uarch import TraceDrivenCore
+    from repro.uarch.core import CoreConfig
     from repro.uarch.uop import INT_WIDTH
 
-    key = (suite, length, seed, sample_period)
+    key = (suite, length, seed, sample_period, backend)
     if key not in _RF_BIAS_CACHE:
         trace = cached_trace(suite, length, seed)
-        base = TraceDrivenCore().run(trace)
+        config = CoreConfig(backend=backend)
+        base = TraceDrivenCore(config).run(trace)
         protector = ISVRegisterFileProtector("int_rf", INT_WIDTH,
                                              sample_period)
-        prot = TraceDrivenCore(hooks=protector).run(trace)
+        prot = TraceDrivenCore(config, hooks=protector).run(trace)
         _RF_BIAS_CACHE[key] = (
             base.int_rf.worst_bias,
             prot.int_rf.worst_bias,
@@ -273,6 +276,7 @@ def _scheme_factory(params: Mapping[str, Any], created: List[Any]):
         "dyn_warmup": 1000,
         "dyn_test_window": 1000,
         "dyn_period": 6000,
+        "backend": "reference",
     },
     spec_paths={
         **_CACHE_GEOMETRY_PATHS,
@@ -282,6 +286,7 @@ def _scheme_factory(params: Mapping[str, Any], created: List[Any]):
         "dyn_warmup": "protection.dl0.params.warmup",
         "dyn_test_window": "protection.dl0.params.test_window",
         "dyn_period": "protection.dl0.params.period",
+        "backend": "processor.backend",
     },
 )
 def run_caches_point(params: Mapping[str, Any]) -> MetricSet:
@@ -296,6 +301,7 @@ def run_caches_point(params: Mapping[str, Any]) -> MetricSet:
         _scheme_factory(params, created),
         [stream],
         seed=int(params["seed"]) + _suite_index(params["suite"]),
+        backend=str(params.get("backend", "reference")),
     )
     ms = MetricSet()
     ms.text("scheme_name", study.scheme_name)
@@ -321,12 +327,14 @@ def run_caches_point(params: Mapping[str, Any]) -> MetricSet:
         "ways": 8,
         "ratio": 0.5,
         "data_bias": 0.9,
+        "backend": "reference",
     },
     # data_bias is an analysis-only knob with no spec home: set it via
     # StudySpec.overrides (or sweep it by bare name).
     spec_paths={
         **_CACHE_GEOMETRY_PATHS,
         "ratio": "protection.dl0.params.ratio",
+        "backend": "processor.backend",
     },
 )
 def run_invert_ratio_point(params: Mapping[str, Any]) -> MetricSet:
@@ -354,15 +362,17 @@ def _expected_bias(data_bias: float, achieved: float) -> float:
         "size_kb": 16,
         "ways": 8,
         "ratio": 0.5,
+        "backend": "reference",
     },
     spec_paths={
         **_CACHE_GEOMETRY_PATHS,
         "ratio": "protection.dl0.params.ratio",
+        "backend": "processor.backend",
     },
 )
 def run_victim_policy_point(params: Mapping[str, Any]) -> MetricSet:
     from repro.core.cache_like import LineFixedScheme, run_cache_study
-    from repro.uarch.cache import Cache
+    from repro.uarch.backends import get_backend
 
     config = _cache_config(params)
     stream = cached_address_stream(
@@ -370,12 +380,13 @@ def run_victim_policy_point(params: Mapping[str, Any]) -> MetricSet:
     )
     seed = int(params["seed"]) + _suite_index(params["suite"])
     ratio = float(params["ratio"])
+    backend = str(params.get("backend", "reference"))
     lru = run_cache_study(config, lambda: LineFixedScheme(ratio),
-                          [stream], seed=seed)
+                          [stream], seed=seed, backend=backend)
     naive = run_cache_study(config,
                             lambda: AnyPositionLineFixedScheme(ratio),
-                            [stream], seed=seed)
-    baseline = Cache(config)
+                            [stream], seed=seed, backend=backend)
+    baseline = get_backend(backend).make_cache(config)
     baseline.replay(stream)
     ms = MetricSet()
     ms.gauge("lru_loss", lru.mean_loss)
@@ -412,16 +423,19 @@ class AnyPositionLineFixedScheme(_LineFixedScheme):
         "length": 5000,
         "seed": 0,
         "sample_period": 512.0,
+        "backend": "reference",
     },
     spec_paths={
         **_WORKLOAD_PATHS,
         "sample_period": "protection.sample_period",
+        "backend": "processor.backend",
     },
 )
 def run_regfile_point(params: Mapping[str, Any]) -> MetricSet:
     base_bias, isv_bias, free_fraction = cached_rf_biases(
         params["suite"], int(params["length"]), int(params["seed"]),
         float(params["sample_period"]),
+        backend=str(params.get("backend", "reference")),
     )
     ms = MetricSet()
     ms.gauge("base_worst_bias", base_bias)
@@ -439,12 +453,14 @@ def run_regfile_point(params: Mapping[str, Any]) -> MetricSet:
         "seed": 88,
         "sample_period": 512.0,
         "target": 0.70,
+        "backend": "reference",
     },
     # target (the scaled-voltage operating point) is analysis-only: set
     # it via StudySpec.overrides.
     spec_paths={
         **_WORKLOAD_PATHS,
         "sample_period": "protection.sample_period",
+        "backend": "processor.backend",
     },
 )
 def run_vmin_power_point(params: Mapping[str, Any]) -> MetricSet:
@@ -453,6 +469,7 @@ def run_vmin_power_point(params: Mapping[str, Any]) -> MetricSet:
     base_bias, isv_bias, __ = cached_rf_biases(
         params["suite"], int(params["length"]), int(params["seed"]),
         float(params["sample_period"]),
+        backend=str(params.get("backend", "reference")),
     )
     model = ArrayPowerModel()
     target = float(params["target"])
@@ -491,6 +508,7 @@ def run_vmin_power_point(params: Mapping[str, Any]) -> MetricSet:
         "dyn_warmup": 1000,
         "dyn_test_window": 1000,
         "dyn_period": 6000,
+        "backend": "reference",
     },
     spec_paths={
         "suites": "workload.suites",
@@ -506,6 +524,7 @@ def run_vmin_power_point(params: Mapping[str, Any]) -> MetricSet:
         "dyn_warmup": "protection.dl0.params.warmup",
         "dyn_test_window": "protection.dl0.params.test_window",
         "dyn_period": "protection.dl0.params.period",
+        "backend": "processor.backend",
     },
 )
 def run_multiprog_point(params: Mapping[str, Any]) -> MetricSet:
@@ -523,7 +542,7 @@ def run_multiprog_point(params: Mapping[str, Any]) -> MetricSet:
         ProtectedCache,
         performance_loss,
     )
-    from repro.uarch.cache import Cache
+    from repro.uarch.backends import get_backend
     from repro.workloads.multiprog import multiprog_address_stream
 
     raw_suites = params["suites"]
@@ -542,14 +561,15 @@ def run_multiprog_point(params: Mapping[str, Any]) -> MetricSet:
         slice_length=int(params["slice_length"]),
     )
     config = _cache_config(params)
+    engine = get_backend(str(params.get("backend", "reference")))
 
-    baseline = Cache(config)
+    baseline = engine.make_cache(config)
     baseline.replay(multiprog_address_stream(suites, **stream_kwargs))
     base_rate = baseline.stats.miss_rate
 
     created: List[Any] = []
     factory = _scheme_factory(params, created)
-    protected = ProtectedCache(Cache(config), factory(),
+    protected = ProtectedCache(engine.make_cache(config), factory(),
                                seed=int(params["seed"]))
     protected.replay(multiprog_address_stream(suites, **stream_kwargs))
     scheme_rate = protected.stats.miss_rate
@@ -587,21 +607,25 @@ def run_multiprog_point(params: Mapping[str, Any]) -> MetricSet:
         "seed": 0,
         "invert_ratio": 0.5,
         "sample_period": 512.0,
+        "backend": "reference",
     },
     spec_paths={
         **_WORKLOAD_PATHS,
         "invert_ratio": "protection.dl0.params.ratio",
         "sample_period": "protection.sample_period",
+        "backend": "processor.backend",
     },
 )
 def run_penelope_point(params: Mapping[str, Any]) -> MetricSet:
     from repro.core import PenelopeProcessor
     from repro.core.metric import nbti_efficiency
+    from repro.uarch.core import CoreConfig
 
     trace = cached_trace(
         params["suite"], int(params["length"]), int(params["seed"])
     )
     processor = PenelopeProcessor(
+        config=CoreConfig(backend=str(params.get("backend", "reference"))),
         invert_ratio=float(params["invert_ratio"]),
         sample_period=float(params["sample_period"]),
         seed=int(params["seed"]),

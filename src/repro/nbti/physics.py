@@ -75,6 +75,36 @@ class StressPhase(enum.Enum):
     RELAX = "relax"
 
 
+# ----------------------------------------------------------------------
+# Kernel primitives
+# ----------------------------------------------------------------------
+# The exact per-interval exponential update is split into one transcendental
+# step (the decay factor, always evaluated through scalar ``math.exp``) and
+# IEEE-exact multiply/subtract steps.  The kernel backends
+# (:mod:`repro.uarch.backends`) batch the second half across many nodes
+# while reusing the same scalar decay factor, which keeps them
+# bit-identical to this module: ``exp`` is the only operation whose
+# last-ulp rounding could differ between libm and an array library.
+def stress_decay(k_stress: float, duration: float) -> float:
+    """Exponential decay factor ``exp(-k_s * t)`` of one stress interval."""
+    return math.exp(-k_stress * duration)
+
+
+def relax_decay(k_relax: float, duration: float) -> float:
+    """Exponential decay factor ``exp(-k_r * t)`` of one relax interval."""
+    return math.exp(-k_relax * duration)
+
+
+def apply_stress(nit: float, n_max: float, decay: float) -> float:
+    """N_IT after one stress interval with precomputed ``decay``."""
+    return n_max - (n_max - nit) * decay
+
+
+def apply_relax(nit: float, decay: float) -> float:
+    """N_IT after one relax interval with precomputed ``decay``."""
+    return nit * decay
+
+
 def steady_state_fill(duty: float, recovery_ratio: float = RECOVERY_TO_STRESS_RATIO) -> float:
     """Asymptotic N_IT fill level for a given zero-signal probability.
 
@@ -182,8 +212,8 @@ class ReactionDiffusionModel:
         Returns the new N_IT level.
         """
         self._check_duration(duration)
-        decay = math.exp(-self.effective_k_stress * duration)
-        self.nit = self.n_max - (self.n_max - self.nit) * decay
+        decay = stress_decay(self.effective_k_stress, duration)
+        self.nit = apply_stress(self.nit, self.n_max, decay)
         self.time += duration
         self._record()
         return self.nit
@@ -195,7 +225,7 @@ class ReactionDiffusionModel:
         would require infinite relaxation time, matching Section 2.2.
         """
         self._check_duration(duration)
-        self.nit *= math.exp(-self.k_relax * duration)
+        self.nit = apply_relax(self.nit, relax_decay(self.k_relax, duration))
         self.time += duration
         self._record()
         return self.nit

@@ -9,7 +9,9 @@ closes a residency interval only when a cell's value changes:
     ``(now - since[entry]) * bit`` on each value change of ``entry``.
 
 Values are unpacked to bit vectors with numpy, so a write costs O(width)
-vectorised work instead of O(width) Python loop iterations.
+vectorised work instead of O(width) Python loop iterations.  When numpy
+is not installed (the ``fast`` extra), a pure-Python branch keeps the
+accounting available at reduced speed; the numpy path is unchanged.
 """
 
 from __future__ import annotations
@@ -17,26 +19,31 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import Tuple
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised on the no-numpy leg
+    np = None  # type: ignore[assignment]
 
 from repro.metrics import MetricSet
 
 
 @lru_cache(maxsize=1 << 16)
-def _unpack_small(value: int, width: int) -> np.ndarray:
+def _unpack_small(value: int, width: int):
     """Cached unpack for the narrow fields that dominate the hot path.
 
     The returned array is shared across callers and must be treated as
     read-only; :class:`BitBiasAccumulator` only copy-assigns it into its
     state matrix.
     """
+    if np is None:
+        return tuple((value >> i) & 1 for i in range(width))
     raw = np.frombuffer(value.to_bytes((width + 7) // 8, "little"),
                         dtype=np.uint8)
     return np.unpackbits(raw, bitorder="little")[:width]
 
 
-def unpack_bits(value: int, width: int) -> np.ndarray:
-    """Little-endian bit vector (uint8) of an arbitrary-width int."""
+def unpack_bits(value: int, width: int):
+    """Little-endian bit vector (uint8 array, or tuple without numpy)."""
     if value < 0:
         raise ValueError("value must be non-negative")
     nbytes = (width + 7) // 8
@@ -44,12 +51,16 @@ def unpack_bits(value: int, width: int) -> np.ndarray:
         raise ValueError(f"value {value!r} does not fit in {width} bits")
     if width <= 16:
         return _unpack_small(value, width)
+    if np is None:
+        return tuple((value >> i) & 1 for i in range(width))
     raw = np.frombuffer(value.to_bytes(nbytes, "little"), dtype=np.uint8)
     return np.unpackbits(raw, bitorder="little")[:width]
 
 
-def pack_bits(bits: np.ndarray) -> int:
+def pack_bits(bits) -> int:
     """Inverse of :func:`unpack_bits`."""
+    if np is None:
+        return sum(int(b) << i for i, b in enumerate(bits))
     padded = np.zeros(((bits.size + 7) // 8) * 8, dtype=np.uint8)
     padded[: bits.size] = bits
     return int.from_bytes(np.packbits(padded, bitorder="little").tobytes(),
@@ -77,13 +88,28 @@ class BitBiasAccumulator:
         self.entries = entries
         self.width = width
         self.initial_value = initial_value
-        self.time_zero = np.zeros((entries, width), dtype=np.float64)
-        self.time_one = np.zeros((entries, width), dtype=np.float64)
-        self._bits = np.tile(unpack_bits(initial_value, width), (entries, 1))
-        self._since = np.zeros(entries, dtype=np.float64)
+        if np is None:
+            row = unpack_bits(initial_value, width)
+            self.time_zero = [[0.0] * width for _ in range(entries)]
+            self.time_one = [[0.0] * width for _ in range(entries)]
+            self._bits = [row] * entries
+            self._since = [0.0] * entries
+        else:
+            self.time_zero = np.zeros((entries, width), dtype=np.float64)
+            self.time_one = np.zeros((entries, width), dtype=np.float64)
+            self._bits = np.tile(unpack_bits(initial_value, width),
+                                 (entries, 1))
+            self._since = np.zeros(entries, dtype=np.float64)
 
     def reset(self) -> None:
         """Discard all residency history and restart at time zero."""
+        if np is None:
+            row = unpack_bits(self.initial_value, self.width)
+            self.time_zero = [[0.0] * self.width for _ in range(self.entries)]
+            self.time_one = [[0.0] * self.width for _ in range(self.entries)]
+            self._bits = [row] * self.entries
+            self._since = [0.0] * self.entries
+            return
         self.time_zero.fill(0.0)
         self.time_one.fill(0.0)
         self._bits = np.tile(unpack_bits(self.initial_value, self.width),
@@ -115,27 +141,50 @@ class BitBiasAccumulator:
             )
         if duration > 0.0:
             bits = self._bits[entry]
-            self.time_one[entry] += duration * bits
-            self.time_zero[entry] += duration * (1 - bits)
+            if np is None:
+                one = self.time_one[entry]
+                zero = self.time_zero[entry]
+                for i, bit in enumerate(bits):
+                    if bit:
+                        one[i] += duration
+                    else:
+                        zero[i] += duration
+            else:
+                self.time_one[entry] += duration * bits
+                self.time_zero[entry] += duration * (1 - bits)
         self._since[entry] = now
 
     # ------------------------------------------------------------------
     # Analysis
     # ------------------------------------------------------------------
-    def bias_to_zero(self) -> np.ndarray:
+    def bias_to_zero(self):
         """Per-bit-position bias towards "0", aggregated over entries.
 
         This is the quantity plotted on the Y axis of Figures 6 and 8.
         Positions never exercised report 0.5 (no stress information).
+        Returns a float64 array, or a list without numpy.
         """
+        if np is None:
+            zero = [sum(row[j] for row in self.time_zero)
+                    for j in range(self.width)]
+            one = [sum(row[j] for row in self.time_one)
+                   for j in range(self.width)]
+            return [z / (z + o) if z + o > 0.0 else 0.5
+                    for z, o in zip(zero, one)]
         zero = self.time_zero.sum(axis=0)
         total = zero + self.time_one.sum(axis=0)
         with np.errstate(invalid="ignore", divide="ignore"):
             bias = np.where(total > 0.0, zero / np.maximum(total, 1e-300), 0.5)
         return bias
 
-    def cell_bias_to_zero(self) -> np.ndarray:
+    def cell_bias_to_zero(self):
         """Per-cell (entries x width) bias towards "0"."""
+        if np is None:
+            return [
+                [z / (z + o) if z + o > 0.0 else 0.5
+                 for z, o in zip(zrow, orow)]
+                for zrow, orow in zip(self.time_zero, self.time_one)
+            ]
         total = self.time_zero + self.time_one
         with np.errstate(invalid="ignore", divide="ignore"):
             return np.where(total > 0.0,
@@ -144,16 +193,22 @@ class BitBiasAccumulator:
     def worst_bias(self) -> float:
         """Worst per-bit-position imbalance, as max(bias, 1-bias)."""
         bias = self.bias_to_zero()
-        return float(np.max(np.maximum(bias, 1.0 - bias)))
+        return float(max(max(b, 1.0 - b) for b in bias))
 
     def worst_bit(self) -> Tuple[int, float]:
         """(bit position, bias) of the most imbalanced aggregated bit."""
         bias = self.bias_to_zero()
-        imbalance = np.maximum(bias, 1.0 - bias)
-        index = int(np.argmax(imbalance))
-        return index, float(bias[index])
+        best_index, best = 0, -1.0
+        for index, b in enumerate(bias):
+            imbalance = max(b, 1.0 - b)
+            if imbalance > best:
+                best_index, best = index, imbalance
+        return best_index, float(bias[best_index])
 
     def total_observed_time(self) -> float:
+        if np is None:
+            return (sum(map(sum, self.time_zero))
+                    + sum(map(sum, self.time_one)))
         return float(self.time_zero.sum() + self.time_one.sum())
 
     # ------------------------------------------------------------------

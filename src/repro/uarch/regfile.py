@@ -30,9 +30,10 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
-import numpy as np
+if TYPE_CHECKING:
+    import numpy as np
 
 from repro.metrics import MetricSet
 from repro.uarch.bitbias import BitBiasAccumulator
@@ -50,7 +51,7 @@ class RegisterFileStats:
     discarded_special_writes: int
     free_fraction: float
     port_free_fraction: float
-    bias_to_zero: np.ndarray
+    bias_to_zero: "np.ndarray"
     worst_bias: float
 
     @property

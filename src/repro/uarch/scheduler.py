@@ -21,7 +21,10 @@ import heapq
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised on the no-numpy leg
+    np = None  # type: ignore[assignment]
 
 from repro.metrics import MetricSet
 from repro.uarch.bitbias import BitBiasAccumulator
@@ -37,32 +40,35 @@ class SchedulerStats:
     allocations: int
     occupancy: float
     port_free_fraction: float
-    field_bias: Dict[str, np.ndarray]
+    field_bias: Dict[str, "np.ndarray"]
     special_writes: int
     discarded_special_writes: int
 
-    def flattened_bias(self, include_opcode: bool = False) -> np.ndarray:
+    def flattened_bias(self, include_opcode: bool = False):
         """Per-bit bias in Table 2 order (Figure 8's X axis).
 
         Figure 8 omits the opcode bits ("they depend strongly on the
         implementation"); pass ``include_opcode=True`` to keep them.
+        Returns a float64 array, or a list without numpy.
         """
         parts = []
         for name in self.layout.fields():
             if name == "opcode" and not include_opcode:
                 continue
             parts.append(self.field_bias[name])
+        if np is None:
+            return [b for part in parts for b in part]
         return np.concatenate(parts)
 
     def worst_bias(self, include_opcode: bool = False) -> float:
         bias = self.flattened_bias(include_opcode)
-        return float(np.max(np.maximum(bias, 1.0 - bias)))
+        return float(max(max(b, 1.0 - b) for b in bias))
 
     def worst_field(self) -> Tuple[str, float]:
         """(field, worst bias) of the most imbalanced protected field."""
         worst_name, worst_value = "", 0.0
         for name, bias in self.field_bias.items():
-            imbalance = float(np.max(np.maximum(bias, 1.0 - bias)))
+            imbalance = float(max(max(b, 1.0 - b) for b in bias))
             if imbalance > worst_value:
                 worst_name, worst_value = name, imbalance
         return worst_name, worst_value

@@ -1,7 +1,8 @@
 """Tests for aggregation helpers and report formatting."""
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy")
 
 from repro.analysis import (
     bias_band,

@@ -8,8 +8,9 @@ seeds).  Every study in the experiments registry is exercised from a
 spec serialised through real JSON.
 """
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy")
 
 from repro import api
 from repro.config import (

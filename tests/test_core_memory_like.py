@@ -111,8 +111,8 @@ class TestSchedulerProtector:
         trace = TraceGenerator(seed=9).generate("specint2000", length=4000)
         baseline = TraceDrivenCore().run(trace)
         protected = TraceDrivenCore(hooks=SchedulerProtector()).run(trace)
-        base_flags = baseline.scheduler.field_bias["flags"].max()
-        prot_flags = protected.scheduler.field_bias["flags"].max()
+        base_flags = max(baseline.scheduler.field_bias["flags"])
+        prot_flags = max(protected.scheduler.field_bias["flags"])
         assert prot_flags < base_flags
 
     def test_valid_bit_untouched(self):

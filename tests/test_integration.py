@@ -1,7 +1,8 @@
 """Cross-module integration tests: the paper's end-to-end claims."""
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy")
 
 from repro.analysis import merge_bias_arrays, worst_imbalance
 from repro.core import (

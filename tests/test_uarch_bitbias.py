@@ -1,7 +1,8 @@
 """Unit tests for interval-based bit-cell residency accounting."""
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy")
 
 from repro.uarch.bitbias import BitBiasAccumulator, pack_bits, unpack_bits
 

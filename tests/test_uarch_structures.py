@@ -209,10 +209,10 @@ class TestScheduler:
         stats = sched.finalize(4.0)
         assert stats.occupancy == pytest.approx(2.0 / 8.0)
         flat = stats.flattened_bias()
-        assert flat.shape == (SCHEDULER_LAYOUT.total_bits
-                              - SCHEDULER_LAYOUT.opcode,)
+        assert len(flat) == (SCHEDULER_LAYOUT.total_bits
+                             - SCHEDULER_LAYOUT.opcode)
         full = stats.flattened_bias(include_opcode=True)
-        assert full.shape == (SCHEDULER_LAYOUT.total_bits,)
+        assert len(full) == SCHEDULER_LAYOUT.total_bits
         name, value = stats.worst_field()
         assert name in SCHEDULER_LAYOUT.fields()
         assert 0.5 <= value <= 1.0

@@ -3,8 +3,9 @@
 import random
 import struct
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy")
 
 from repro.uarch.uop import FP_WIDTH, UopClass
 from repro.workloads import (
