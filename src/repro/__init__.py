@@ -35,6 +35,6 @@ Quick start::
     print(report.efficiency, "vs baseline", report.baseline_efficiency)
 """
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = ["__version__"]

@@ -73,6 +73,7 @@ __all__ = [
     "run_study",
     "save_study_spec",
     "study_sweep_spec",
+    "sweep_from_payload",
 ]
 
 
@@ -429,3 +430,41 @@ def save_study_spec(spec: StudySpec, path: str) -> None:
     """Write a :class:`StudySpec` as indented JSON."""
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(spec.to_json() + "\n")
+
+
+def sweep_from_payload(payload: Any):
+    """A StudySpec *or* SweepSpec JSON payload → the engine's SweepSpec.
+
+    The sweep service's submit path: clients may POST either spec
+    surface, and both round-trip through the exact facade the CLI uses,
+    so service-submitted points hash identically to batch-run points
+    and share the result cache.  SweepSpec payloads are recognised by
+    their ``base``/``grid`` keys; anything else is parsed as a
+    :class:`StudySpec` and expanded via :func:`study_sweep_spec`.
+
+    Raises :class:`~repro.config.specs.SpecError` (or ``KeyError`` for
+    an unknown study) on malformed payloads — callers map those to
+    client errors.
+    """
+    from collections.abc import Mapping as ABCMapping
+
+    from repro.experiments import SweepSpec, get_study
+
+    if not isinstance(payload, ABCMapping):
+        raise SpecError(
+            f"spec payload must be a JSON object, got "
+            f"{type(payload).__name__}")
+    if "study" not in payload:
+        raise SpecError("spec payload needs a 'study' field")
+    if "base" in payload or "grid" in payload:
+        extra = set(payload) - {"study", "base", "grid", "size"}
+        if extra:
+            raise SpecError(
+                f"unexpected sweep-payload fields: {sorted(extra)}")
+        sweep = SweepSpec.from_payload(dict(payload))
+        # Resolve the study now: a submit-time 400 beats a job that
+        # only fails once it reaches the executor.
+        get_study(sweep.study)
+        return sweep
+    spec = StudySpec.from_dict(dict(payload))
+    return study_sweep_spec(spec)

@@ -262,6 +262,9 @@ def _run_sweep_and_report(spec, *, workers, store, verbose, group_by,
         runner = SweepRunner(store=store, workers=workers,
                              progress=progress.update,
                              trace_path=trace_json if trace else None)
+    progress.begin(
+        run_id=resume if resume is not None else runner.run_id,
+        store=store.path if store is not None else None)
     if human:
         print(f"{intro}: {spec.size} points over axes "
               f"{', '.join(spec.axis_names())} ({workers} worker"
@@ -605,6 +608,21 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
     events_path = args.events or os.path.join(
         _default_obs_dir(), "events.jsonl")
+    if getattr(args, "follow", False):
+        # Follow mode tails forever (the file may not exist *yet* —
+        # e.g. watching a directory a sweep is about to write into),
+        # so a missing file is a wait, not an error.
+        try:
+            for record in read_events(events_path, level=args.level,
+                                      run_id=args.run_id, follow=True):
+                print(render_event(record), flush=True)
+        except KeyboardInterrupt:
+            return 0
+        return 0
+    if not os.path.exists(events_path):
+        print(f"error: cannot read {events_path!r}: "
+              f"No such file or directory", file=sys.stderr)
+        return 2
     try:
         records = read_events(events_path, level=args.level,
                               run_id=args.run_id)
@@ -620,6 +638,34 @@ def cmd_trace(args: argparse.Namespace) -> int:
     for record in records:
         print(render_event(record))
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the sweep service (HTTP + WebSocket, DESIGN.md §11)."""
+    import asyncio
+
+    from repro.service import SweepService
+
+    token = args.token
+    if token is None and args.token_env:
+        token = os.environ.get(args.token_env) or None
+    directory = _fabric_store_dir(args.store)
+    service = SweepService(
+        directory,
+        host=args.host,
+        port=args.port,
+        token=token,
+        max_jobs=args.max_jobs,
+        default_workers=args.workers,
+        default_fabric=args.fabric,
+        drain_grace=args.drain_grace,
+        ready_file=args.ready_file,
+        quiet=args.quiet,
+    )
+    try:
+        return asyncio.run(service.run())
+    except KeyboardInterrupt:
+        return 0
 
 
 def _print_provenance(store_path: str) -> None:
@@ -756,9 +802,10 @@ def cmd_report(args: argparse.Namespace) -> int:
         format_summary,
         metric_names,
     )
+    from repro.experiments import default_store_path
     from repro.fabric import open_result_store
 
-    store = open_result_store(args.store)
+    store = open_result_store(args.store or default_store_path())
     records = store.records(study=args.study)
     if not records:
         print(f"no stored results for study {args.study!r} in "
@@ -813,9 +860,10 @@ def _varying_params(results) -> List[str]:
 
 
 def cmd_results(args: argparse.Namespace) -> int:
+    from repro.experiments import default_store_path
     from repro.fabric import open_result_store
 
-    store = open_result_store(args.store)
+    store = open_result_store(args.store or default_store_path())
     records = store.records(study=args.study)
     if args.limit > 0:
         records = records[-args.limit:]
@@ -1149,6 +1197,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="only this run's events")
     trace.add_argument("--limit", type=int, default=0,
                        help="show only the newest N events")
+    trace.add_argument("--follow", action="store_true",
+                       help="keep tailing the event log as it grows "
+                            "(events; Ctrl-C to stop)")
     trace.set_defaults(func=cmd_trace)
 
     results = commands.add_parser(
@@ -1209,6 +1260,50 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--list-rules", action="store_true",
                       help="print the ruleset and exit")
     lint.set_defaults(func=cmd_lint)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the sweep service: submit/stream/query specs over "
+             "HTTP + WebSocket",
+        epilog="examples: repro serve --port 8765; "
+               "REPRO_SERVICE_TOKEN=s3cret repro serve "
+               "--token-env REPRO_SERVICE_TOKEN",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="bind port; 0 picks an ephemeral port "
+                            "(default: 8765)")
+    serve.add_argument("--store", default=None, metavar="DIR",
+                       help="sharded store directory (default: "
+                            "benchmarks/results/fabric)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="default workers per job (default: 1)")
+    serve.add_argument("--max-jobs", type=int, default=2,
+                       dest="max_jobs",
+                       help="concurrently executing jobs (default: 2)")
+    serve.add_argument("--token", default=None,
+                       help="require 'Authorization: Bearer TOKEN' "
+                            "(prefer --token-env: argv leaks into ps)")
+    serve.add_argument("--token-env", default="REPRO_SERVICE_TOKEN",
+                       dest="token_env", metavar="VAR",
+                       help="read the bearer token from this "
+                            "environment variable when --token is "
+                            "not given (default: REPRO_SERVICE_TOKEN)")
+    serve.add_argument("--fabric", action="store_true",
+                       help="run jobs under the fabric runner by "
+                            "default (journaled, resumable)")
+    serve.add_argument("--drain-grace", type=float, default=30.0,
+                       dest="drain_grace", metavar="SECONDS",
+                       help="how long SIGTERM waits for running jobs "
+                            "(default: 30)")
+    serve.add_argument("--ready-file", default=None, dest="ready_file",
+                       metavar="FILE",
+                       help="write {url, pid, store} JSON here once "
+                            "listening (ephemeral-port discovery)")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress the listening/drained lines")
+    serve.set_defaults(func=cmd_serve)
 
     store_cmd = commands.add_parser(
         "store",

@@ -12,13 +12,25 @@ watermark records how far each shard has been indexed; ``refresh``
 reads only the appended tail beyond the watermark, so reopening a
 million-record store costs a handful of ``fstat`` calls, not a parse of
 every record.
+
+The delete-and-rebuild recovery is only safe for the index's *owner*.
+A second process opening the same store (a fabric worker, the sweep
+service's query path, a human running ``repro results``) may catch the
+owner mid-write — SQLite transiently reports a hot journal or a locked
+file as an error — and deleting the file under a live writer corrupts
+the owner's connection.  ``read_only=True`` therefore connects with the
+``mode=ro`` URI, retries transient errors with exponential backoff,
+and on persistent failure degrades to *index-miss* (empty results)
+instead of raising or deleting: the store treats a missing index entry
+as a cache miss, which is always correct, just slower.
 """
 
 from __future__ import annotations
 
 import os
 import sqlite3
-from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple
+import time
+from typing import Any, Dict, Iterator, List, NamedTuple, Optional, Tuple
 
 __all__ = ["IndexRow", "StoreIndex"]
 
@@ -53,11 +65,22 @@ class IndexRow(NamedTuple):
 
 
 class StoreIndex:
-    """Thin typed wrapper around the index database."""
+    """Thin typed wrapper around the index database.
 
-    def __init__(self, path: str) -> None:
+    ``read_only=True`` is the non-owner mode: connect ``mode=ro``,
+    retry transient errors with backoff, never delete the file, and
+    answer "not indexed" instead of raising when the owner's writes
+    keep the database unreadable (see the module docstring).
+    """
+
+    def __init__(self, path: str, read_only: bool = False,
+                 retries: int = 3, backoff: float = 0.02) -> None:
         self.path = path
-        self._conn = self._open()
+        self.read_only = read_only
+        self._retries = max(1, retries)
+        self._backoff = backoff
+        self._conn: Optional[sqlite3.Connection] = (
+            self._open_read_only() if read_only else self._open())
 
     def _open(self) -> sqlite3.Connection:
         os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
@@ -70,6 +93,8 @@ class StoreIndex:
         except sqlite3.DatabaseError:
             # Damaged cache (e.g. crash while SQLite held its journal):
             # drop it and rebuild from the shards, which own the truth.
+            # Only the owner may do this — a reader would be deleting
+            # the file under the owner's live connection.
             try:
                 os.remove(self.path)
             except OSError:
@@ -79,6 +104,75 @@ class StoreIndex:
             conn.execute("PRAGMA synchronous=OFF")
             conn.commit()
             return conn
+
+    def _open_read_only(self) -> Optional[sqlite3.Connection]:
+        """Best-effort ``mode=ro`` connect; ``None`` when unreadable."""
+        if not os.path.exists(self.path):
+            return None
+        delay = self._backoff
+        for __ in range(self._retries):
+            conn: Optional[sqlite3.Connection] = None
+            try:
+                # A short busy-timeout on purpose: a blocked reader
+                # should degrade to the shard-tail overlay quickly,
+                # not stall queries behind the owner's lock.
+                conn = sqlite3.connect(
+                    f"file:{self.path}?mode=ro", uri=True, timeout=0.1)
+                conn.execute(
+                    "SELECT 1 FROM sqlite_master LIMIT 1").fetchone()
+                return conn
+            except sqlite3.Error:
+                if conn is not None:
+                    try:
+                        conn.close()
+                    except sqlite3.Error:
+                        pass
+                time.sleep(delay)
+                delay *= 2
+        return None
+
+    def _read(self, query: str, params: Tuple[Any, ...],
+              fetch: str, default: Any) -> Any:
+        """Execute a read; in read-only mode retry, then degrade.
+
+        A writer mid-transaction makes reads fail transiently
+        (``database is locked``, or ``DatabaseError`` on a half-written
+        page).  The owner never sees these (it *is* the writer), so
+        non-read-only connections execute directly and let errors
+        propagate as before.
+        """
+        if not self.read_only:
+            assert self._conn is not None
+            cursor = self._conn.execute(query, params)
+            return (cursor.fetchone() if fetch == "one"
+                    else cursor.fetchall())
+        delay = self._backoff
+        for __ in range(self._retries):
+            if self._conn is None:
+                self._conn = self._open_read_only()
+            if self._conn is None:
+                return default
+            try:
+                cursor = self._conn.execute(query, params)
+                return (cursor.fetchone() if fetch == "one"
+                        else cursor.fetchall())
+            except sqlite3.Error:
+                # Drop the connection: the next attempt reopens, which
+                # also recovers from the owner rebuilding the file.
+                try:
+                    self._conn.close()
+                except sqlite3.Error:
+                    pass
+                self._conn = None
+                time.sleep(delay)
+                delay *= 2
+        return default
+
+    def _check_writable(self) -> None:
+        if self.read_only:
+            raise RuntimeError(
+                f"{self.path}: index opened read-only; only the store "
+                f"owner may write it")
 
     # -- writes ---------------------------------------------------------
     def upsert(
@@ -91,6 +185,8 @@ class StoreIndex:
         Watermarks only ever move forward (``MAX``), so out-of-order
         updates from concurrent appenders can never un-index a tail.
         """
+        self._check_writable()
+        assert self._conn is not None
         with self._conn:
             self._conn.executemany(
                 "INSERT OR REPLACE INTO records VALUES (?,?,?,?,?,?,?)",
@@ -106,12 +202,16 @@ class StoreIndex:
 
     def reset(self) -> None:
         """Drop every row and watermark (full reindex follows)."""
+        self._check_writable()
+        assert self._conn is not None
         with self._conn:
             self._conn.execute("DELETE FROM records")
             self._conn.execute("DELETE FROM shard_watermarks")
 
     def drop_shard(self, shard: int) -> None:
         """Forget one shard's rows and watermark (compaction rewrite)."""
+        self._check_writable()
+        assert self._conn is not None
         with self._conn:
             self._conn.execute(
                 "DELETE FROM records WHERE shard = ?", (shard,)
@@ -122,53 +222,50 @@ class StoreIndex:
 
     # -- reads ----------------------------------------------------------
     def watermarks(self) -> Dict[int, int]:
-        rows = self._conn.execute(
-            "SELECT shard, indexed_bytes FROM shard_watermarks"
-        ).fetchall()
+        rows = self._read(
+            "SELECT shard, indexed_bytes FROM shard_watermarks", (),
+            "all", [])
         return {int(shard): int(size) for shard, size in rows}
 
     def lookup(self, key: str) -> Optional[IndexRow]:
-        row = self._conn.execute(
-            "SELECT * FROM records WHERE key = ?", (key,)
-        ).fetchone()
+        row = self._read(
+            "SELECT * FROM records WHERE key = ?", (key,), "one", None)
         return IndexRow(*row) if row is not None else None
 
     def by_study(self, study: Optional[str] = None) -> Iterator[IndexRow]:
         """Location rows ordered by creation time (stable: then by key)."""
         if study is None:
-            cursor = self._conn.execute(
-                "SELECT * FROM records ORDER BY created, key"
-            )
+            rows = self._read(
+                "SELECT * FROM records ORDER BY created, key", (),
+                "all", [])
         else:
-            cursor = self._conn.execute(
+            rows = self._read(
                 "SELECT * FROM records WHERE study = ? "
-                "ORDER BY created, key",
-                (study,),
-            )
-        for row in cursor:
+                "ORDER BY created, key", (study,), "all", [])
+        for row in rows:
             yield IndexRow(*row)
 
     def by_shard(self, shard: int) -> List[IndexRow]:
-        rows = self._conn.execute(
+        rows = self._read(
             "SELECT * FROM records WHERE shard = ? ORDER BY created, key",
-            (shard,),
-        ).fetchall()
+            (shard,), "all", [])
         return [IndexRow(*row) for row in rows]
 
     def keys(self) -> List[str]:
-        rows = self._conn.execute("SELECT key FROM records").fetchall()
+        rows = self._read("SELECT key FROM records", (), "all", [])
         return [row[0] for row in rows]
 
     def count(self, study: Optional[str] = None) -> int:
         if study is None:
-            row = self._conn.execute(
-                "SELECT COUNT(*) FROM records"
-            ).fetchone()
+            row = self._read(
+                "SELECT COUNT(*) FROM records", (), "one", (0,))
         else:
-            row = self._conn.execute(
-                "SELECT COUNT(*) FROM records WHERE study = ?", (study,)
-            ).fetchone()
+            row = self._read(
+                "SELECT COUNT(*) FROM records WHERE study = ?",
+                (study,), "one", (0,))
         return int(row[0])
 
     def close(self) -> None:
-        self._conn.close()
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None

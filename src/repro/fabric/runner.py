@@ -159,15 +159,21 @@ def _drain_board(
     cfg: FabricConfig,
     worker_tag: str,
     allow_fault: bool = False,
+    stop: Optional[threading.Event] = None,
 ) -> None:
     """Lease/execute loop — the body of every fabric worker.
 
     Returns when the board has nothing left that can make progress
-    (all done, or all remaining attempts exhausted).
+    (all done, or all remaining attempts exhausted), or — for
+    in-process drains — when ``stop`` is set (graceful drain: the
+    current batch is never abandoned mid-lease, the loop just stops
+    acquiring new ones).
     """
     run_id = journal.run_id
     batch_by_id = {b.batch_id: b for b in journal.batches}
     while True:
+        if stop is not None and stop.is_set():
+            return
         lease = board.acquire(run_id, worker_tag, cfg.lease_ttl,
                               cfg.max_batch_attempts)
         if lease is None:
@@ -377,6 +383,19 @@ class FabricRunner:
         self.log = log
         self.board = LeaseBoard(
             os.path.join(store.directory, LEASES_NAME))
+        self._stop = threading.Event()
+
+    def request_stop(self) -> None:
+        """Ask a running drive to stop early (graceful drain).
+
+        Thread-safe and idempotent.  Spawned workers are terminated at
+        the next poll tick; an in-process drain stops acquiring new
+        lease batches.  The journal and lease board stay on disk, so
+        the interrupted run raises :class:`FabricIncompleteError` and
+        ``repro sweep --resume <run_id>`` finishes it bit-identically —
+        this is what the sweep service calls on SIGTERM.
+        """
+        self._stop.set()
 
     # ------------------------------------------------------------------
     def run(self, spec: SweepSpec) -> SweepResult:
@@ -497,7 +516,8 @@ class FabricRunner:
         if not self.spawn_workers:
             worker_tag = f"{journal.run_id}-inproc"
             _drain_board(self.store, journal, self.board, self.log,
-                         self.cfg, worker_tag, allow_fault=False)
+                         self.cfg, worker_tag, allow_fault=False,
+                         stop=self._stop)
             return
         procs: List[multiprocessing.Process] = []
         count = min(self.workers, max(1, len(journal.batches)))
@@ -519,7 +539,7 @@ class FabricRunner:
                 proc.join()
             _drain_board(self.store, journal, self.board, self.log,
                          self.cfg, f"{journal.run_id}-inproc",
-                         allow_fault=False)
+                         allow_fault=False, stop=self._stop)
             return
         reported: Dict[int, bool] = {}
         run_id = journal.run_id
@@ -530,6 +550,13 @@ class FabricRunner:
                 alive = [p for p in procs if p.is_alive()]
                 self._report_lost(procs, reported, run_id)
                 if remaining == 0:
+                    break
+                if self._stop.is_set():
+                    self.log.warning(
+                        "run_draining", run_id=run_id,
+                        remaining=remaining, workers=len(alive))
+                    for proc in alive:
+                        proc.terminate()
                     break
                 if not alive:
                     raise FabricIncompleteError(

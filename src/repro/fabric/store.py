@@ -34,7 +34,7 @@ from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro.experiments.spec import ExperimentPoint, canonical_json
 from repro.experiments.store import ResultStore, StoredResult, _plain
-from repro.fabric.index import StoreIndex
+from repro.fabric.index import IndexRow, StoreIndex
 from repro.fabric.io import append_record, atomic_write_json, atomic_write_text
 
 __all__ = [
@@ -73,10 +73,17 @@ class CompactStats:
 class ShardedResultStore:
     """Duck-type of ``ResultStore`` backed by shards + SQLite index.
 
-    ``index_writes=False`` opens the store append-only: ``put`` writes
-    shard lines but never touches SQLite.  Fabric workers use this so
-    the index has exactly one writer (the parent), which calls
-    :meth:`refresh` to fold worker appends in afterwards.
+    ``index_writes=False`` opens the store append-only *and* opens the
+    SQLite index read-only: ``put`` writes shard lines but never
+    touches SQLite, and index reads retry/degrade instead of raising
+    when the owner process is mid-write (a reader must never delete or
+    rebuild the owner's index — see :class:`~repro.fabric.index.
+    StoreIndex`).  Fabric workers and the sweep service's second-process
+    readers use this mode; :meth:`refresh` then folds appended shard
+    tails into an in-memory *overlay* instead of SQLite, so a reader
+    still sees records the owner has appended but not yet indexed —
+    and stays fully functional even when the index file is unreadable
+    the whole time (worst case: one full shard reparse).
     """
 
     def __init__(
@@ -102,10 +109,17 @@ class ShardedResultStore:
         else:
             self.shards = int(meta["shards"])
         self._meta = meta
-        self.index = StoreIndex(os.path.join(self.directory, "index.sqlite"))
+        self.index = StoreIndex(
+            os.path.join(self.directory, "index.sqlite"),
+            read_only=not index_writes,
+        )
+        #: Read-only mode's view of rows beyond the index watermarks
+        #: (and of this handle's own appends).
+        self._overlay: Dict[str, IndexRow] = {}
+        self._overlay_marks: Dict[int, int] = {}
         if index_writes:
             self._import_flat()
-        if refresh_on_open and index_writes:
+        if refresh_on_open:
             self.refresh()
 
     # -- layout ---------------------------------------------------------
@@ -164,9 +178,18 @@ class ShardedResultStore:
         is retried (then superseded or compacted away) later.  Complete
         lines that fail to parse are counted and skipped; compaction
         drops them for good.
+
+        The owner (``index_writes=True``) folds the tails into SQLite.
+        A read-only handle folds them into its in-memory overlay
+        instead, starting from wherever the owner's watermarks stood at
+        this poll — second processes see fresh appends without ever
+        writing the index.
         """
         rows: List[Tuple[str, int, int, int, str, str, float]] = []
         marks = self.index.watermarks()
+        if not self.index_writes:
+            for shard, done in self._overlay_marks.items():
+                marks[shard] = max(marks.get(shard, 0), done)
         new_marks: Dict[int, int] = {}
         for shard in range(self.shards):
             path = self.shard_path(shard)
@@ -197,6 +220,11 @@ class ShardedResultStore:
                     self.skipped_lines += 1
                 offset += length
             new_marks[shard] = offset
+        if not self.index_writes:
+            for row in rows:
+                self._overlay[row[0]] = IndexRow(*row)
+            self._overlay_marks.update(new_marks)
+            return
         if rows or new_marks:
             self.index.upsert(rows, new_marks)
 
@@ -222,12 +250,28 @@ class ShardedResultStore:
             for handle in handles.values():
                 handle.close()
 
-    def get(self, key: str) -> Optional[StoredResult]:
+    def _locate(self, key: str) -> Optional[IndexRow]:
+        """Index row for ``key``, preferring the newer of index/overlay.
+
+        Same key always lands in the same shard, so a larger byte
+        offset is strictly the later append — the live record.
+        """
         row = self.index.lookup(key)
+        over = self._overlay.get(key)
+        if over is not None and (row is None or over.offset >= row.offset):
+            return over
+        return row
+
+    def get(self, key: str) -> Optional[StoredResult]:
+        row = self._locate(key)
         if row is None:
             return None
         record = self._read_at(row.shard, row.offset, row.length)
         if record.key != key:
+            if not self.index_writes:
+                # A reader must not rewrite the owner's index; treat
+                # drift as a miss (always correct for a cache).
+                return None
             # Index drifted from the shard (e.g. shard rewritten behind
             # our back): rebuild rather than serve the wrong record.
             warnings.warn(
@@ -247,16 +291,31 @@ class ShardedResultStore:
         return self.get(point.key)
 
     def __contains__(self, key: str) -> bool:
-        return self.index.lookup(key) is not None
+        return self._locate(key) is not None
 
     def __len__(self) -> int:
-        return self.index.count()
+        count = self.index.count()
+        count += sum(1 for key in self._overlay
+                     if self.index.lookup(key) is None)
+        return count
+
+    def _all_rows(self, study: Optional[str]) -> List[IndexRow]:
+        """Merged index + overlay rows in (created, key) order."""
+        merged = {row.key: row for row in self.index.by_study(study)}
+        for key, row in self._overlay.items():
+            if study is not None and row.study != study:
+                continue
+            old = merged.get(key)
+            if old is None or row.offset >= old.offset:
+                merged[key] = row
+        return sorted(merged.values(),
+                      key=lambda r: (r.created, r.key))
 
     def __iter__(self) -> Iterator[StoredResult]:
-        yield from self._read_rows(list(self.index.by_study(None)))
+        yield from self._read_rows(self._all_rows(None))
 
     def records(self, study: Optional[str] = None) -> List[StoredResult]:
-        return list(self._read_rows(list(self.index.by_study(study))))
+        return list(self._read_rows(self._all_rows(study)))
 
     # -- writing --------------------------------------------------------
     def put(
@@ -285,6 +344,12 @@ class ShardedResultStore:
                   params_digest(record.params), record.created)],
                 {shard: end},
             )
+        else:
+            # Append-only handles remember their own writes so a
+            # subsequent get() on this handle is not an index miss.
+            self._overlay[record.key] = IndexRow(
+                record.key, shard, offset, len(payload), record.study,
+                params_digest(record.params), record.created)
 
     def put_many(self, records: List[StoredResult]) -> None:
         """Bulk append: one ``os.write`` and one index transaction per
@@ -358,7 +423,18 @@ class ShardedResultStore:
         return stats
 
     def reindex(self) -> None:
-        """Drop the index and rebuild it from the shard files."""
+        """Drop the index and rebuild it from the shard files.
+
+        Read-only handles rebuild their overlay instead — the owner's
+        SQLite file is never touched.
+        """
+        if not self.index_writes:
+            self._overlay.clear()
+            self._overlay_marks = {shard: 0
+                                   for shard in range(self.shards)}
+            self.skipped_lines = 0
+            self.refresh()
+            return
         self.index.reset()
         self.skipped_lines = 0
         self.refresh()

@@ -23,10 +23,12 @@ observability never changes what is observed (DESIGN.md §7).
 
 from repro.obs.log import (
     EventLog,
+    EventTailer,
     LEVELS,
     new_run_id,
     read_events,
     render_event,
+    tail_events,
 )
 from repro.obs.progress import SweepProgress
 from repro.obs.provenance import (
@@ -55,10 +57,12 @@ from repro.obs.trace import (
 
 __all__ = [
     "EventLog",
+    "EventTailer",
     "LEVELS",
     "new_run_id",
     "read_events",
     "render_event",
+    "tail_events",
     "SweepProgress",
     "MANIFEST_NAME",
     "MANIFEST_SCHEMA",

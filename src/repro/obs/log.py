@@ -25,7 +25,9 @@ import os
 import sys
 import time
 import uuid
-from typing import Any, Dict, IO, List, Optional
+from typing import (
+    Any, Callable, Dict, IO, Iterator, List, Optional, Tuple, Union,
+)
 
 from repro.obs.trace import TRACER
 
@@ -147,29 +149,124 @@ class EventLog:
         return self.emit(event, level="error", **payload)
 
 
-def read_events(path: str, level: Optional[str] = None,
-                run_id: Optional[str] = None) -> List[Dict[str, Any]]:
+def _parse_event_line(line: bytes, floor: int,
+                      run_id: Optional[str]) -> Optional[Dict[str, Any]]:
+    """Decode + filter one log line; ``None`` for noise/filtered."""
+    text = line.strip()
+    if not text:
+        return None
+    try:
+        record = json.loads(text.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if not isinstance(record, dict) or "event" not in record:
+        return None
+    if LEVELS.get(record.get("level", "info"), 0) < floor:
+        return None
+    if run_id and record.get("run_id") != run_id:
+        return None
+    return record
+
+
+def tail_events(
+    path: str,
+    offset: int = 0,
+    level: Optional[str] = None,
+    run_id: Optional[str] = None,
+) -> Tuple[List[Dict[str, Any]], int]:
+    """One incremental poll of an event log: ``(records, new_offset)``.
+
+    The byte-offset watermark discipline of the store's ``refresh``:
+    only complete lines (ending in ``\\n``) are consumed, so a torn
+    final line — a writer caught mid-append — stays beyond the returned
+    offset and is retried on the next poll.  A missing file is an empty
+    poll (the sweep may not have started yet); a file *shorter* than
+    the watermark (rotated/truncated) restarts from byte zero.
+    """
+    floor = LEVELS[level] if level else 0
+    try:
+        size = os.path.getsize(path)
+    except OSError:
+        return [], offset
+    if size < offset:
+        offset = 0
+    if size == offset:
+        return [], offset
+    with open(path, "rb") as handle:
+        handle.seek(offset)
+        tail = handle.read()
+    records: List[Dict[str, Any]] = []
+    consumed = 0
+    for raw in tail.splitlines(keepends=True):
+        if not raw.endswith(b"\n"):
+            break  # torn final line: leave for the next poll
+        consumed += len(raw)
+        record = _parse_event_line(raw, floor, run_id)
+        if record is not None:
+            records.append(record)
+    return records, offset + consumed
+
+
+class EventTailer:
+    """Stateful wrapper over :func:`tail_events` (one watermark).
+
+    ``start_at_end=True`` begins tailing at the file's current size —
+    what a live subscriber wants (the service's WS bridge): only events
+    appended after attach, not the whole multi-run history.
+    """
+
+    def __init__(self, path: str, offset: int = 0,
+                 level: Optional[str] = None,
+                 run_id: Optional[str] = None,
+                 start_at_end: bool = False) -> None:
+        self.path = path
+        self.level = level
+        self.run_id = run_id
+        if start_at_end:
+            try:
+                offset = os.path.getsize(path)
+            except OSError:
+                offset = 0
+        self.offset = offset
+
+    def poll(self) -> List[Dict[str, Any]]:
+        """Records appended since the last poll (watermark advances)."""
+        records, self.offset = tail_events(
+            self.path, self.offset, self.level, self.run_id)
+        return records
+
+
+def read_events(
+    path: str,
+    level: Optional[str] = None,
+    run_id: Optional[str] = None,
+    follow: bool = False,
+    poll_interval: float = 0.2,
+    stop: Optional[Callable[[], bool]] = None,
+) -> Union[List[Dict[str, Any]], Iterator[Dict[str, Any]]]:
     """Load an event-log file, optionally filtered by level / run id.
 
     Corrupt lines are skipped (the same tolerance as the result store:
     a crashed writer must not take the whole log down with it).
+
+    ``follow=True`` returns an *iterator* instead: existing records
+    first, then new ones as they are appended (``tail -f`` semantics,
+    shared by ``repro trace events --follow`` and the service's WS
+    bridge).  The optional ``stop`` callable is checked between polls.
     """
-    floor = LEVELS[level] if level else 0
-    events: List[Dict[str, Any]] = []
-    with open(path, encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except ValueError:
-                continue
-            if not isinstance(record, dict) or "event" not in record:
-                continue
-            if LEVELS.get(record.get("level", "info"), 0) < floor:
-                continue
-            if run_id and record.get("run_id") != run_id:
-                continue
-            events.append(record)
-    return events
+    if follow:
+        return _follow_events(path, level, run_id, poll_interval, stop)
+    records, __ = tail_events(path, 0, level, run_id)
+    return records
+
+
+def _follow_events(path: str, level: Optional[str],
+                   run_id: Optional[str], poll_interval: float,
+                   stop: Optional[Callable[[], bool]],
+                   ) -> Iterator[Dict[str, Any]]:
+    tailer = EventTailer(path, level=level, run_id=run_id)
+    while True:
+        yield from tailer.poll()
+        if stop is not None and stop():
+            return
+        time.sleep(poll_interval)

@@ -53,6 +53,29 @@ class SweepProgress:
         self.done = 0
         self.cached = 0
         self.slowest: Optional[Any] = None
+        self.run_id: Optional[str] = None
+        self.store_path: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    def begin(self, run_id: Optional[str] = None,
+              store: Optional[str] = None) -> None:
+        """Announce run identity *before* the first point completes.
+
+        In ``json`` mode this emits a ``start`` event carrying the
+        run_id and store path, so machine consumers (and humans) can
+        attach to the event log / store mid-run instead of learning
+        both only from the final summary.
+        """
+        self.run_id = run_id
+        self.store_path = store
+        if self.mode != "json":
+            return
+        print(json.dumps({
+            "event": "start",
+            "run_id": run_id,
+            "store": store,
+            "total": self.total,
+        }, sort_keys=True), file=self.stream or sys.stdout)
 
     # ------------------------------------------------------------------
     def update(self, result: Any) -> None:

@@ -1,0 +1,48 @@
+"""Static bearer-token authentication for the sweep service.
+
+One shared secret, checked in constant time.  Deliberately not a user
+model: the service is an internal sweep frontend — the token gates who
+may submit compute, nothing finer-grained.  Comparing SHA-256 digests
+of the tokens (rather than the tokens themselves) makes the
+``hmac.compare_digest`` inputs fixed-length, so even the length of the
+configured secret leaks nothing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Mapping, Optional
+
+__all__ = ["TokenAuth"]
+
+_PREFIX = "bearer "
+
+
+class TokenAuth:
+    """Check ``Authorization: Bearer <token>`` headers.
+
+    ``token=None`` (or empty) disables auth — every request passes,
+    which is the open default for local use; ``repro serve --token``
+    or ``REPRO_SERVICE_TOKEN`` turns it on.
+    """
+
+    def __init__(self, token: Optional[str] = None) -> None:
+        self._digest: Optional[bytes] = (
+            hashlib.sha256(token.encode("utf-8")).digest()
+            if token else None)
+
+    @property
+    def enabled(self) -> bool:
+        return self._digest is not None
+
+    def check(self, headers: Mapping[str, str]) -> bool:
+        """True when the request may proceed (header keys lower-case)."""
+        if self._digest is None:
+            return True
+        value = headers.get("authorization", "")
+        if not value.lower().startswith(_PREFIX):
+            return False
+        supplied = value[len(_PREFIX):].strip()
+        digest = hashlib.sha256(supplied.encode("utf-8")).digest()
+        return hmac.compare_digest(digest, self._digest)

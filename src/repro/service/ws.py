@@ -1,0 +1,311 @@
+"""RFC 6455 WebSocket framing, hand-rolled on the standard library.
+
+The repo's no-dependency discipline extends to the service layer: the
+whole protocol surface the sweep service needs is ~200 lines — the
+handshake digest, a frame encoder, an incremental frame decoder, and a
+fragment reassembler — and owning them keeps the framing unit-testable
+as pure bytes-in/bytes-out functions (no sockets, no event loop).
+
+Scope is deliberately the server-and-one-client subset of the RFC:
+
+- frames: FIN/opcode/length/mask headers with 7/16/64-bit lengths;
+- masking: required on client→server frames (the server rejects
+  unmasked input), never applied server→client;
+- fragmentation: continuation frames reassemble into one message;
+  control frames (ping/pong/close) may interleave but never fragment;
+- close: 2-byte big-endian status code + UTF-8 reason.
+
+No extensions (RSV bits must be zero), no subprotocol negotiation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import os
+from typing import List, Mapping, NamedTuple, Optional, Tuple
+
+__all__ = [
+    "Frame",
+    "FrameDecoder",
+    "HandshakeError",
+    "MessageAssembler",
+    "OP_BINARY",
+    "OP_CLOSE",
+    "OP_CONT",
+    "OP_PING",
+    "OP_PONG",
+    "OP_TEXT",
+    "WSProtocolError",
+    "accept_key",
+    "client_handshake",
+    "close_payload",
+    "encode_frame",
+    "handshake_response",
+    "mask_bytes",
+    "parse_close",
+    "send_close",
+    "send_frame",
+    "send_text",
+]
+
+#: RFC 6455 §1.3 — the fixed GUID appended to the client key before
+#: SHA-1 in the Sec-WebSocket-Accept computation.
+WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+OP_CONT = 0x0
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+_DATA_OPCODES = (OP_CONT, OP_TEXT, OP_BINARY)
+_CONTROL_OPCODES = (OP_CLOSE, OP_PING, OP_PONG)
+
+#: Largest accepted payload; a streaming service sends small JSON
+#: messages, so anything bigger is a protocol error (close 1009).
+MAX_PAYLOAD = 1 << 23
+
+
+class WSProtocolError(Exception):
+    """A framing violation; ``code`` is the close code to send back."""
+
+    def __init__(self, code: int, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class HandshakeError(Exception):
+    """The HTTP request is not a valid WebSocket upgrade."""
+
+
+def accept_key(key: str) -> str:
+    """Sec-WebSocket-Accept for a client's Sec-WebSocket-Key."""
+    digest = hashlib.sha1((key + WS_GUID).encode("ascii")).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def handshake_response(headers: Mapping[str, str]) -> bytes:
+    """The 101 response bytes for an upgrade request's headers.
+
+    ``headers`` must be lower-cased keys (what the HTTP parser
+    produces).  Raises :class:`HandshakeError` when the request is not
+    an RFC 6455 upgrade.
+    """
+    if "websocket" not in headers.get("upgrade", "").lower():
+        raise HandshakeError("missing 'Upgrade: websocket' header")
+    key = headers.get("sec-websocket-key", "").strip()
+    if not key:
+        raise HandshakeError("missing Sec-WebSocket-Key header")
+    return (
+        "HTTP/1.1 101 Switching Protocols\r\n"
+        "Upgrade: websocket\r\n"
+        "Connection: Upgrade\r\n"
+        f"Sec-WebSocket-Accept: {accept_key(key)}\r\n"
+        "\r\n"
+    ).encode("ascii")
+
+
+def client_handshake(host: str, path: str,
+                     token: Optional[str] = None) -> Tuple[bytes, str]:
+    """Client-side upgrade request bytes plus the key to verify with."""
+    key = base64.b64encode(os.urandom(16)).decode("ascii")
+    lines = [
+        f"GET {path} HTTP/1.1",
+        f"Host: {host}",
+        "Upgrade: websocket",
+        "Connection: Upgrade",
+        f"Sec-WebSocket-Key: {key}",
+        "Sec-WebSocket-Version: 13",
+    ]
+    if token:
+        lines.append(f"Authorization: Bearer {token}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii"), key
+
+
+def mask_bytes(payload: bytes, key: bytes) -> bytes:
+    """XOR-mask (involution: masking twice restores the input)."""
+    if len(key) != 4:
+        raise ValueError("mask key must be 4 bytes")
+    return bytes(b ^ key[i & 3] for i, b in enumerate(payload))
+
+
+class Frame(NamedTuple):
+    """One decoded frame."""
+
+    fin: bool
+    opcode: int
+    payload: bytes
+
+
+def encode_frame(opcode: int, payload: bytes = b"", fin: bool = True,
+                 mask_key: Optional[bytes] = None) -> bytes:
+    """Serialize one frame; ``mask_key`` set ⇒ a client→server frame."""
+    if opcode in _CONTROL_OPCODES and (not fin or len(payload) > 125):
+        raise ValueError(
+            "control frames must be unfragmented and <= 125 bytes")
+    head = bytearray()
+    head.append((0x80 if fin else 0x00) | (opcode & 0x0F))
+    mask_bit = 0x80 if mask_key is not None else 0x00
+    length = len(payload)
+    if length < 126:
+        head.append(mask_bit | length)
+    elif length < (1 << 16):
+        head.append(mask_bit | 126)
+        head += length.to_bytes(2, "big")
+    else:
+        head.append(mask_bit | 127)
+        head += length.to_bytes(8, "big")
+    if mask_key is not None:
+        head += mask_key
+        payload = mask_bytes(payload, mask_key)
+    return bytes(head) + payload
+
+
+def close_payload(code: int = 1000, reason: str = "") -> bytes:
+    """Close-frame payload: status code + truncated UTF-8 reason."""
+    return code.to_bytes(2, "big") + reason.encode("utf-8")[:123]
+
+
+def parse_close(payload: bytes) -> Tuple[int, str]:
+    """Status code and reason out of a close-frame payload.
+
+    An empty payload is legal (RFC 6455 §5.5.1) and maps to 1005
+    ("no status received").
+    """
+    if len(payload) < 2:
+        return 1005, ""
+    code = int.from_bytes(payload[:2], "big")
+    reason = payload[2:].decode("utf-8", errors="replace")
+    return code, reason
+
+
+class FrameDecoder:
+    """Incremental frame parser: feed arbitrary byte chunks, get frames.
+
+    ``require_mask=True`` is the server role (RFC 6455 §5.1: a server
+    MUST fail the connection on an unmasked client frame).
+    """
+
+    def __init__(self, require_mask: bool = False,
+                 max_payload: int = MAX_PAYLOAD) -> None:
+        self.require_mask = require_mask
+        self.max_payload = max_payload
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[Frame]:
+        """Buffer ``data``; return every frame now complete."""
+        self._buffer += data
+        frames: List[Frame] = []
+        while True:
+            parsed = self._parse_one()
+            if parsed is None:
+                return frames
+            frame, used = parsed
+            del self._buffer[:used]
+            frames.append(frame)
+
+    def _parse_one(self) -> Optional[Tuple[Frame, int]]:
+        buf = self._buffer
+        if len(buf) < 2:
+            return None
+        first, second = buf[0], buf[1]
+        if first & 0x70:
+            raise WSProtocolError(
+                1002, "nonzero RSV bits (no extension negotiated)")
+        fin = bool(first & 0x80)
+        opcode = first & 0x0F
+        if opcode not in _DATA_OPCODES + _CONTROL_OPCODES:
+            raise WSProtocolError(1002, f"unknown opcode {opcode:#x}")
+        masked = bool(second & 0x80)
+        length = second & 0x7F
+        pos = 2
+        if opcode in _CONTROL_OPCODES:
+            if not fin:
+                raise WSProtocolError(1002, "fragmented control frame")
+            if length > 125:
+                raise WSProtocolError(1002, "oversized control frame")
+        if length == 126:
+            if len(buf) < pos + 2:
+                return None
+            length = int.from_bytes(buf[pos:pos + 2], "big")
+            pos += 2
+        elif length == 127:
+            if len(buf) < pos + 8:
+                return None
+            length = int.from_bytes(buf[pos:pos + 8], "big")
+            if length >> 63:
+                raise WSProtocolError(1002, "negative 64-bit length")
+            pos += 8
+        if length > self.max_payload:
+            raise WSProtocolError(
+                1009, f"payload of {length} bytes exceeds the "
+                      f"{self.max_payload}-byte limit")
+        key = b""
+        if masked:
+            if len(buf) < pos + 4:
+                return None
+            key = bytes(buf[pos:pos + 4])
+            pos += 4
+        elif self.require_mask:
+            raise WSProtocolError(
+                1002, "client frames must be masked")
+        if len(buf) < pos + length:
+            return None
+        payload = bytes(buf[pos:pos + length])
+        if masked:
+            payload = mask_bytes(payload, key)
+        return Frame(fin, opcode, payload), pos + length
+
+
+async def send_frame(writer: asyncio.StreamWriter, opcode: int,
+                     payload: bytes = b"") -> None:
+    """Write one unmasked (server→client) frame and drain."""
+    writer.write(encode_frame(opcode, payload))
+    await writer.drain()
+
+
+async def send_text(writer: asyncio.StreamWriter, text: str) -> None:
+    await send_frame(writer, OP_TEXT, text.encode("utf-8"))
+
+
+async def send_close(writer: asyncio.StreamWriter, code: int = 1000,
+                     reason: str = "") -> None:
+    await send_frame(writer, OP_CLOSE, close_payload(code, reason))
+
+
+class MessageAssembler:
+    """Reassemble fragmented data frames into complete messages.
+
+    ``feed`` returns ``(opcode, payload)`` pairs: control frames pass
+    through immediately (they may interleave with a fragmented
+    message); data frames surface once their FIN fragment arrives,
+    under the opcode of the first fragment.
+    """
+
+    def __init__(self) -> None:
+        self._opcode: Optional[int] = None
+        self._parts: List[bytes] = []
+
+    def feed(self, frame: Frame) -> List[Tuple[int, bytes]]:
+        if frame.opcode in _CONTROL_OPCODES:
+            return [(frame.opcode, frame.payload)]
+        if frame.opcode == OP_CONT:
+            if self._opcode is None:
+                raise WSProtocolError(
+                    1002, "continuation frame without a message start")
+            self._parts.append(frame.payload)
+        else:
+            if self._opcode is not None:
+                raise WSProtocolError(
+                    1002, "new data frame inside a fragmented message")
+            self._opcode = frame.opcode
+            self._parts = [frame.payload]
+        if not frame.fin:
+            return []
+        message = (self._opcode, b"".join(self._parts))
+        self._opcode = None
+        self._parts = []
+        return [message]

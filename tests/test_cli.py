@@ -22,6 +22,10 @@ class TestParser:
             "show-config": ["show-config", "--study", "caches"],
             "report": ["report", "--study", "caches"],
             "trace": ["trace", "export", "out.trace.json"],
+            "serve": ["serve", "--port", "0", "--token-env",
+                      "REPRO_TOKEN", "--max-jobs", "4"],
+            "trace-follow": ["trace", "events", "--follow",
+                             "--run-id", "abc"],
         }
         for argv in invocations.values():
             args = parser.parse_args(argv)
@@ -334,7 +338,13 @@ class TestCommands:
         events = [json.loads(line) for line in
                   capsys.readouterr().out.splitlines()]
         kinds = [e["event"] for e in events]
-        assert kinds == ["point", "point", "summary"]
+        assert kinds == ["start", "point", "point", "summary"]
+        # The first event announces where to watch: a consumer can
+        # attach to the run (resume, tail events) before any point
+        # lands.
+        assert events[0]["run_id"] == events[-1]["run_id"]
+        assert events[0]["store"] == store
+        assert events[0]["total"] == 2
         assert events[-1]["points"] == 2
         assert events[-1]["executed"] == 2
         assert events[-1]["run_id"]

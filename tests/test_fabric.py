@@ -552,3 +552,127 @@ class TestPointTimeout:
             runner.close()
         assert outcome.executed == 2
         assert [r.metrics["slept"] for r in outcome] == [0.0, 0.001]
+
+
+# ----------------------------------------------------------------------
+# Read-only index concurrency (second-process readers during a run)
+# ----------------------------------------------------------------------
+class TestReadOnlyIndex:
+    def test_reader_survives_exclusively_locked_index(self, tmp_path):
+        import sqlite3
+
+        owner = ShardedResultStore(str(tmp_path))
+        record = make_record(0.4)
+        owner.put_record(record)
+
+        # A writer holds the index hostage mid-transaction — exactly
+        # what a reader refreshing during a fabric run can hit.
+        lock = sqlite3.connect(str(tmp_path / "index.sqlite"))
+        lock.execute("BEGIN EXCLUSIVE")
+        try:
+            reader = ShardedResultStore(str(tmp_path),
+                                        index_writes=False)
+            # Never raises; the shard-tail overlay serves the read.
+            assert reader.get(record.key).metrics == record.metrics
+            assert record.key in reader
+            assert len(reader) >= 1
+            reader.refresh()
+            reader.close()
+        finally:
+            lock.rollback()
+            lock.close()
+        owner.close()
+
+    def test_reader_tolerates_corrupt_index_file(self, tmp_path):
+        owner = ShardedResultStore(str(tmp_path))
+        record = make_record(0.6)
+        owner.put_record(record)
+        owner.close()
+
+        index_path = tmp_path / "index.sqlite"
+        index_path.write_bytes(b"this is not a sqlite database")
+        before = index_path.read_bytes()
+
+        reader = ShardedResultStore(str(tmp_path), index_writes=False)
+        assert reader.get(record.key).metrics == record.metrics
+        assert [r.key for r in reader.records()] == [record.key]
+        reader.reindex()  # read-only reindex = overlay rebuild
+        assert reader.get(record.key).metrics == record.metrics
+        reader.close()
+        # A read-only handle must never repair-by-delete someone
+        # else's index file.
+        assert index_path.read_bytes() == before
+
+    def test_read_only_handle_rejects_index_writes(self, tmp_path):
+        ShardedResultStore(str(tmp_path)).close()
+        from repro.fabric.index import StoreIndex
+
+        index = StoreIndex(str(tmp_path / "index.sqlite"),
+                           read_only=True)
+        with pytest.raises(RuntimeError):
+            index.upsert([], watermarks={0: 10})
+        with pytest.raises(RuntimeError):
+            index.reset()
+        index.close()
+
+    def test_reader_refresh_races_live_writer(self, tmp_path):
+        import threading
+
+        writer = ShardedResultStore(str(tmp_path))
+        reader = ShardedResultStore(str(tmp_path), index_writes=False)
+        failures = []
+        done = threading.Event()
+
+        def read_loop():
+            try:
+                while not done.is_set():
+                    reader.refresh()
+                    reader.records()
+                    len(reader)
+            except Exception as exc:  # pragma: no cover
+                failures.append(exc)
+
+        thread = threading.Thread(target=read_loop)
+        thread.start()
+        try:
+            for i in range(50):
+                writer.put_record(make_record(i / 100.0,
+                                              created=float(i)))
+        finally:
+            done.set()
+            thread.join(timeout=30)
+        assert not failures
+        reader.refresh()
+        assert len(reader.records()) == 50
+        reader.close()
+        writer.close()
+
+
+class TestRequestStop:
+    def test_request_stop_journals_then_resume_is_bit_identical(
+            self, tmp_path, serial_oracle):
+        import threading
+
+        with temporary_study("fabric_stoppable"):
+            spec = SweepSpec("fabric_stoppable",
+                             grid={"duration": [0.2, 0.2001,
+                                                0.2002, 0.2003]})
+            oracle = SweepRunner(store=None, workers=1).run(spec)
+
+            store = ShardedResultStore(str(tmp_path))
+            runner = FabricRunner(store, workers=1, batch_size=1)
+            run_id = runner.run_id
+            stopper = threading.Timer(0.3, runner.request_stop)
+            stopper.start()
+            try:
+                with pytest.raises(FabricIncompleteError):
+                    runner.run(spec)
+            finally:
+                stopper.cancel()
+            runner.close()
+            assert 0 < len(store) < 4
+
+            resumed = FabricRunner(store, workers=1).resume(run_id)
+            assert {r.point.key: r.metrics for r in resumed.results} \
+                == {r.point.key: r.metrics for r in oracle.results}
+            store.close()

@@ -5,6 +5,7 @@ import io
 import json
 import os
 import threading
+import time
 
 import pytest
 
@@ -609,3 +610,127 @@ class TestRunnerObservability:
         # fallback (platforms without multiprocessing) records the same
         # sweep.execute spans directly.
         assert "sweep.execute" in names
+
+
+# ----------------------------------------------------------------------
+# Incremental event tailing (the WS bridge / --follow substrate)
+# ----------------------------------------------------------------------
+class TestEventTailing:
+    def _write(self, path, *lines, newline=True):
+        with open(path, "a", encoding="utf-8") as handle:
+            for i, line in enumerate(lines):
+                last = i == len(lines) - 1
+                handle.write(line + ("" if last and not newline
+                                     else "\n"))
+
+    def test_tail_events_advances_watermark(self, tmp_path):
+        from repro.obs.log import tail_events
+
+        path = str(tmp_path / "events.jsonl")
+        self._write(path, json.dumps({"event": "one"}),
+                    json.dumps({"event": "two"}))
+        records, offset = tail_events(path)
+        assert [r["event"] for r in records] == ["one", "two"]
+        assert offset == os.path.getsize(path)
+        # Nothing new: same watermark, no records.
+        assert tail_events(path, offset) == ([], offset)
+        self._write(path, json.dumps({"event": "three"}))
+        records, offset2 = tail_events(path, offset)
+        assert [r["event"] for r in records] == ["three"]
+        assert offset2 > offset
+
+    def test_torn_tail_is_retried_not_lost(self, tmp_path):
+        from repro.obs.log import tail_events
+
+        path = str(tmp_path / "events.jsonl")
+        whole = json.dumps({"event": "whole"})
+        torn = json.dumps({"event": "torn"})
+        self._write(path, whole)
+        self._write(path, torn[:7], newline=False)
+        records, offset = tail_events(path)
+        assert [r["event"] for r in records] == ["whole"]
+        # The watermark stops before the torn line...
+        self._write(path, torn[7:])
+        records, __ = tail_events(path, offset)
+        # ...so completing it yields the whole record, exactly once.
+        assert [r["event"] for r in records] == ["torn"]
+
+    def test_missing_file_yields_nothing(self, tmp_path):
+        from repro.obs.log import EventTailer, tail_events
+
+        path = str(tmp_path / "nope.jsonl")
+        assert tail_events(path) == ([], 0)
+        assert EventTailer(path).poll() == []
+        assert read_events(path) == []
+
+    def test_truncated_file_restarts_from_zero(self, tmp_path):
+        from repro.obs.log import EventTailer
+
+        path = str(tmp_path / "events.jsonl")
+        self._write(path, json.dumps({"event": "old1"}),
+                    json.dumps({"event": "old2"}))
+        tailer = EventTailer(path)
+        assert [r["event"] for r in tailer.poll()] == ["old1", "old2"]
+        os.unlink(path)
+        self._write(path, json.dumps({"event": "fresh"}))
+        assert [r["event"] for r in tailer.poll()] == ["fresh"]
+
+    def test_tailer_filters_run_and_level(self, tmp_path):
+        from repro.obs.log import EventTailer
+
+        path = str(tmp_path / "events.jsonl")
+        log_a = EventLog(path=path, run_id="run-aaa")
+        log_b = EventLog(path=path, run_id="run-bbb")
+        log_a.info("mine")
+        log_b.info("theirs")
+        log_a.debug("chatty")
+        log_a.warning("loud")
+        tailer = EventTailer(path, run_id="run-aaa", level="info")
+        assert [r["event"] for r in tailer.poll()] == ["mine", "loud"]
+
+    def test_read_events_follow_streams_until_stopped(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        log = EventLog(path=path, run_id="run-fff")
+        log.info("before")
+        stop = threading.Event()
+        seen = []
+
+        def consume():
+            for record in read_events(path, follow=True,
+                                      poll_interval=0.01,
+                                      stop=stop.is_set):
+                seen.append(record["event"])
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        deadline = time.monotonic() + 5
+        while "before" not in seen and time.monotonic() < deadline:
+            time.sleep(0.01)
+        log.info("during")
+        while "during" not in seen and time.monotonic() < deadline:
+            time.sleep(0.01)
+        stop.set()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert seen[:2] == ["before", "during"]
+
+
+class TestSweepProgressBegin:
+    def test_json_begin_emits_run_id_and_store_first(self):
+        stream = io.StringIO()
+        progress = SweepProgress(2, mode="json", stream=stream)
+        progress.begin(run_id="run-123", store="/tmp/store.jsonl")
+        progress.update(_FakeResult(key="abc"))
+        events = [json.loads(line)
+                  for line in stream.getvalue().splitlines()]
+        assert events[0] == {"event": "start", "run_id": "run-123",
+                             "store": "/tmp/store.jsonl", "total": 2}
+        assert events[1]["key"] == "abc"
+
+    def test_line_and_none_modes_stay_silent(self):
+        for mode in ("line", "none"):
+            stream = io.StringIO()
+            progress = SweepProgress(1, mode=mode, stream=stream)
+            progress.begin(run_id="run-123", store=None)
+            assert stream.getvalue() == ""
+            assert progress.run_id == "run-123"
